@@ -1,0 +1,104 @@
+// Ablation A3 — in-memory derivation algorithms compared: MaxOA
+// (recursive and explicit forms) vs. MinOA vs. recomputing the query
+// window from reconstructed raw data vs. computing directly from raw
+// data. The paper's §7 conclusion: MinOA is theoretically leaner, MaxOA
+// broader (MIN/MAX); neither dominates.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sequence/compute.h"
+#include "sequence/maxoa.h"
+#include "sequence/minoa.h"
+
+namespace rfv {
+namespace {
+
+std::vector<SeqValue> MakeData(int64_t n) {
+  std::vector<SeqValue> x(static_cast<size_t>(n));
+  uint64_t state = 0x2545f4914f6cdd1dull;
+  for (auto& v : x) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    v = static_cast<double>(state % 1000);
+  }
+  return x;
+}
+
+const WindowSpec kView = WindowSpec::SlidingUnchecked(2, 1);
+const WindowSpec kQuery = WindowSpec::SlidingUnchecked(3, 1);
+
+void BM_Derive_MaxoaRecursive(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(state.range(0));
+  const Sequence view = BuildCompleteSequence(x, kView, SeqAggFn::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveMaxoaRecursive(view, kQuery));
+  }
+}
+
+void BM_Derive_MaxoaExplicit(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(state.range(0));
+  const Sequence view = BuildCompleteSequence(x, kView, SeqAggFn::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveMaxoaExplicit(view, kQuery));
+  }
+}
+
+void BM_Derive_Minoa(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(state.range(0));
+  const Sequence view = BuildCompleteSequence(x, kView, SeqAggFn::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveMinoa(view, kQuery));
+  }
+}
+
+void BM_Derive_ReconstructThenRecompute(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(state.range(0));
+  const Sequence view = BuildCompleteSequence(x, kView, SeqAggFn::kSum);
+  for (auto _ : state) {
+    Result<std::vector<SeqValue>> raw = RawFromSlidingLinear(view);
+    benchmark::DoNotOptimize(
+        ComputeSlidingPipelined(raw.value(), kQuery));
+  }
+}
+
+void BM_Derive_DirectFromRaw(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSlidingPipelined(x, kQuery));
+  }
+}
+
+// The recursive form and raw reconstruction are O(n); the explicit
+// forms evaluate per-position telescoping chains of length Θ(k/w_x) and
+// are therefore Θ(n²/w_x) in memory — exactly the work profile their
+// relational mappings (Fig. 10/13) exhibit in Table 2. Cap the explicit
+// forms at 30k to keep the suite's runtime bounded.
+#define DERIVE_SIZES_LINEAR Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)
+#define DERIVE_SIZES_QUADRATIC Arg(1000)->Arg(10000)->Arg(30000)
+BENCHMARK(BM_Derive_MaxoaRecursive)->DERIVE_SIZES_LINEAR;
+BENCHMARK(BM_Derive_MaxoaExplicit)->DERIVE_SIZES_QUADRATIC;
+BENCHMARK(BM_Derive_Minoa)->DERIVE_SIZES_QUADRATIC;
+BENCHMARK(BM_Derive_ReconstructThenRecompute)->DERIVE_SIZES_LINEAR;
+BENCHMARK(BM_Derive_DirectFromRaw)->DERIVE_SIZES_LINEAR;
+
+// Chain length is Θ(k/w_x) — it shrinks as the *view* window widens.
+// Sweep the view half-width at n = 30k with a query one row wider.
+void BM_Derive_MinoaViewWidth(benchmark::State& state) {
+  const std::vector<SeqValue> x = MakeData(30000);
+  const int64_t half = state.range(0);
+  const WindowSpec view_spec = WindowSpec::SlidingUnchecked(half, half);
+  const WindowSpec query =
+      WindowSpec::SlidingUnchecked(half + 1, half + 1);
+  const Sequence view = BuildCompleteSequence(x, view_spec, SeqAggFn::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveMinoa(view, query));
+  }
+  state.counters["wx"] = static_cast<double>(view_spec.size());
+}
+BENCHMARK(BM_Derive_MinoaViewWidth)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,59 @@
+// Ablation A5 — join strategy comparison on the engine substrate: the
+// same equi self join executed as nested loops, hash join, sort-merge
+// join and index nested-loop join. Explains where Table 1/2's
+// "with index" numbers come from and what DB2's buffer-backed plans
+// correspond to in this engine.
+
+#include <benchmark/benchmark.h>
+
+#include "workload.h"
+
+namespace rfv {
+namespace bench {
+namespace {
+
+constexpr const char* kEquiJoin =
+    "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM seq s1, seq s2 WHERE "
+    "s1.pos = s2.pos GROUP BY s1.pos";
+
+void RunJoin(benchmark::State& state, bool hash, bool smj, bool inlj) {
+  Database db;
+  BuildSeqTable(&db, state.range(0), /*with_index=*/inlj);
+  db.options().exec.enable_hash_join = hash;
+  db.options().exec.enable_sort_merge_join = smj;
+  db.options().exec.enable_index_nested_loop_join = inlj;
+  for (auto _ : state) {
+    const ResultSet rs = MustExecute(&db, kEquiJoin);
+    benchmark::DoNotOptimize(rs.NumRows());
+  }
+}
+
+void BM_Join_NestedLoop(benchmark::State& state) {
+  RunJoin(state, false, false, false);
+}
+void BM_Join_Hash(benchmark::State& state) {
+  RunJoin(state, true, false, false);
+}
+void BM_Join_SortMerge(benchmark::State& state) {
+  RunJoin(state, false, true, false);
+}
+void BM_Join_IndexNestedLoop(benchmark::State& state) {
+  RunJoin(state, false, false, true);
+}
+
+BENCHMARK(BM_Join_NestedLoop)
+    ->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Join_Hash)
+    ->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Join_SortMerge)
+    ->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Join_IndexNestedLoop)
+    ->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rfv

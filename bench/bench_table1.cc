@@ -1,0 +1,88 @@
+// Paper Table 1 — "Computing Sequence Data".
+//
+// Query: SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1
+// PRECEDING AND 1 FOLLOWING) FROM seq
+//
+// Four configurations per cardinality n ∈ {5000, 10000, 15000}:
+//   * reporting functionality inside the engine (native window operator),
+//     with and without a primary-key index (the operator ignores indexes,
+//     so the two columns should coincide — exactly as in the paper),
+//   * the Fig. 2 self-join simulation, with and without the index
+//     (without: quadratic nested loops; with: index nested-loop join).
+//
+// Expected shape (paper): native ≈ linear and fastest; self join without
+// index grows ~quadratically; self join with index ≈ linear with a small
+// constant multiple of native.
+
+#include <benchmark/benchmark.h>
+
+#include "workload.h"
+
+namespace rfv {
+namespace bench {
+namespace {
+
+constexpr const char* kNativeQuery =
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND "
+    "1 FOLLOWING) FROM seq";
+
+constexpr const char* kSelfJoinQuery =
+    "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM seq s1, seq s2 WHERE "
+    "s1.pos IN (s2.pos - 1, s2.pos, s2.pos + 1) GROUP BY s1.pos";
+
+void RunQuery(benchmark::State& state, const char* query, bool with_index,
+              bool allow_index_join) {
+  const int64_t n = state.range(0);
+  Database db;
+  BuildSeqTable(&db, n, with_index);
+  db.options().exec.enable_index_nested_loop_join = allow_index_join;
+  for (auto _ : state) {
+    const ResultSet rs = MustExecute(&db, query);
+    benchmark::DoNotOptimize(rs.NumRows());
+    if (rs.NumRows() != static_cast<size_t>(n)) {
+      state.SkipWithError("wrong result cardinality");
+      return;
+    }
+  }
+  state.counters["rows"] = static_cast<double>(n);
+}
+
+void BM_Table1_ReportingFunction_NoIndex(benchmark::State& state) {
+  RunQuery(state, kNativeQuery, /*with_index=*/false,
+           /*allow_index_join=*/false);
+}
+
+void BM_Table1_ReportingFunction_WithIndex(benchmark::State& state) {
+  RunQuery(state, kNativeQuery, /*with_index=*/true,
+           /*allow_index_join=*/true);
+}
+
+void BM_Table1_SelfJoin_NoIndex(benchmark::State& state) {
+  RunQuery(state, kSelfJoinQuery, /*with_index=*/false,
+           /*allow_index_join=*/false);
+}
+
+void BM_Table1_SelfJoin_WithIndex(benchmark::State& state) {
+  RunQuery(state, kSelfJoinQuery, /*with_index=*/true,
+           /*allow_index_join=*/true);
+}
+
+// The paper's cardinalities. The no-index self join is quadratic; run a
+// single iteration per cell.
+BENCHMARK(BM_Table1_ReportingFunction_NoIndex)
+    ->Arg(5000)->Arg(10000)->Arg(15000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table1_ReportingFunction_WithIndex)
+    ->Arg(5000)->Arg(10000)->Arg(15000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table1_SelfJoin_NoIndex)
+    ->Arg(5000)->Arg(10000)->Arg(15000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Table1_SelfJoin_WithIndex)
+    ->Arg(5000)->Arg(10000)->Arg(15000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rfv

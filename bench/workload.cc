@@ -1,0 +1,75 @@
+#include "workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfv {
+namespace bench {
+
+ResultSet MustExecute(Database* db, const std::string& sql) {
+  Result<ResultSet> r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "benchmark SQL failed: %s\n  %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+void BuildSeqTable(Database* db, int64_t n, bool with_index,
+                   const std::string& name) {
+  Result<Table*> table = db->catalog()->CreateTable(
+      name, Schema({ColumnDef("pos", DataType::kInt64),
+                    ColumnDef("val", DataType::kDouble)}));
+  if (!table.ok()) {
+    std::fprintf(stderr, "CreateTable failed: %s\n",
+                 table.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  uint64_t state = 0x243f6a8885a308d3ull;  // deterministic xorshift
+  for (int64_t i = 1; i <= n; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double value = static_cast<double>(state % 1000) / 10.0;
+    rows.push_back(Row({Value::Int(i), Value::Double(value)}));
+  }
+  Status status = (*table)->InsertBatch(std::move(rows));
+  if (!status.ok()) {
+    std::fprintf(stderr, "InsertBatch failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  if (with_index) {
+    status = (*table)->CreateIndex(name + "_pk", "pos");
+    if (!status.ok()) {
+      std::fprintf(stderr, "CreateIndex failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+void BuildSequenceView(Database* db, const std::string& view_name, int64_t l,
+                       int64_t h, const std::string& base) {
+  SequenceViewDef def;
+  def.view_name = view_name;
+  def.base_table = base;
+  def.value_column = "val";
+  def.order_column = "pos";
+  def.fn = SeqAggFn::kSum;
+  def.window = WindowSpec::SlidingUnchecked(l, h);
+  def.indexed = true;
+  Result<const SequenceViewDef*> r =
+      db->view_manager()->CreateSequenceView(def);
+  if (!r.ok()) {
+    std::fprintf(stderr, "CreateSequenceView failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace bench
+}  // namespace rfv

@@ -1,0 +1,32 @@
+#ifndef RFVIEW_BENCH_WORKLOAD_H_
+#define RFVIEW_BENCH_WORKLOAD_H_
+
+#include <string>
+
+#include "db/database.h"
+
+namespace rfv {
+namespace bench {
+
+/// Builds the paper's synthetic sequence table `seq(pos INTEGER, val
+/// DOUBLE)` with dense positions 1..n and deterministic pseudo-random
+/// values, loading rows through the storage API (benchmark setup must
+/// not be dominated by INSERT parsing). `with_index` creates the ordered
+/// index on pos — the paper's "with primary key index" configuration.
+void BuildSeqTable(Database* db, int64_t n, bool with_index,
+                   const std::string& name = "seq");
+
+/// Materializes the complete sequence view used by the Table 2
+/// experiments: SUM(val) OVER (ORDER BY pos ROWS BETWEEN l PRECEDING AND
+/// h FOLLOWING) with header/trailer and a pos index.
+void BuildSequenceView(Database* db, const std::string& view_name, int64_t l,
+                       int64_t h, const std::string& base = "seq");
+
+/// Runs one SQL statement, aborting on error (benchmark misconfiguration
+/// must be loud).
+ResultSet MustExecute(Database* db, const std::string& sql);
+
+}  // namespace bench
+}  // namespace rfv
+
+#endif  // RFVIEW_BENCH_WORKLOAD_H_

@@ -1,0 +1,107 @@
+// Incremental maintenance of materialized sequence data (paper §2.3):
+// update / insert / delete against the raw data touch only the w = l+h+1
+// sequence positions whose window overlaps the change, instead of
+// recomputing the whole sequence. Shown twice: on the in-memory sequence
+// API and on a table-backed materialized view.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sequence/compute.h"
+#include "sequence/maintain.h"
+#include "view/maintenance.h"
+
+namespace {
+
+void Must(const rfv::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // ---- in-memory sequence maintenance --------------------------------
+  constexpr int kN = 200000;
+  const rfv::WindowSpec spec = rfv::WindowSpec::SlidingUnchecked(3, 2);
+  std::vector<rfv::SeqValue> x(kN);
+  for (int i = 0; i < kN; ++i) x[i] = (i * 13 + 7) % 97;
+  rfv::Sequence seq =
+      rfv::BuildCompleteSequence(x, spec, rfv::SeqAggFn::kSum);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rfv::Result<size_t> touched =
+      rfv::MaintainUpdate(&x, &seq, kN / 2, 1234.0);
+  const auto t1 = std::chrono::steady_clock::now();
+  Must(touched.status(), "MaintainUpdate");
+  std::printf("update @%d: touched %zu of %d sequence positions, %.1f us\n",
+              kN / 2, *touched, kN,
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+
+  const auto t2 = std::chrono::steady_clock::now();
+  rfv::Sequence recomputed =
+      rfv::BuildCompleteSequence(x, spec, rfv::SeqAggFn::kSum);
+  const auto t3 = std::chrono::steady_clock::now();
+  std::printf("full recompute for comparison:        %10.1f us\n",
+              std::chrono::duration<double, std::micro>(t3 - t2).count());
+  std::printf("incremental equals recompute: %s\n\n",
+              *seq.mutable_values() == *recomputed.mutable_values()
+                  ? "yes"
+                  : "NO");
+
+  Must(rfv::MaintainInsert(&x, &seq, 17, 55.0).status(), "MaintainInsert");
+  Must(rfv::MaintainDelete(&x, &seq, 99).status(), "MaintainDelete");
+  recomputed = rfv::BuildCompleteSequence(x, spec, rfv::SeqAggFn::kSum);
+  std::printf("after insert@17 + delete@99, incremental equals recompute: "
+              "%s\n\n",
+              *seq.mutable_values() == *recomputed.mutable_values()
+                  ? "yes"
+                  : "NO");
+
+  // ---- table-backed view maintenance ---------------------------------
+  rfv::Database db;
+  Must(db.Execute("CREATE TABLE seq (pos INTEGER PRIMARY KEY, val DOUBLE)")
+           .status(),
+       "CREATE TABLE");
+  std::string insert = "INSERT INTO seq VALUES ";
+  for (int i = 1; i <= 1000; ++i) {
+    if (i > 1) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i % 10) + ")";
+  }
+  Must(db.Execute(insert).status(), "INSERT");
+  Must(db.Execute("CREATE MATERIALIZED VIEW v32 AS SELECT pos, SUM(val) "
+                  "OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 "
+                  "FOLLOWING) FROM seq")
+           .status(),
+       "CREATE VIEW");
+
+  rfv::Result<size_t> rows = rfv::PropagateBaseUpdate(
+      db.view_manager(), "seq", 500, 777.0);
+  Must(rows.status(), "PropagateBaseUpdate");
+  std::printf("view rows rewritten for one base update: %zu (w = l+h+1 = 6)\n",
+              *rows);
+
+  // The view now answers queries with the new value.
+  rfv::Result<rfv::ResultSet> rs = db.Execute(
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+      "AND 2 FOLLOWING) AS v FROM seq ORDER BY pos");
+  Must(rs.status(), "query after maintenance");
+  db.options().enable_view_rewrite = false;
+  rfv::Result<rfv::ResultSet> direct = db.Execute(
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+      "AND 2 FOLLOWING) AS v FROM seq ORDER BY pos");
+  Must(direct.status(), "direct query");
+  bool same = rs->NumRows() == direct->NumRows();
+  for (size_t i = 0; same && i < rs->NumRows(); ++i) {
+    same = rs->at(i, 1) == direct->at(i, 1);
+  }
+  std::printf("maintained view answers (%s) match direct evaluation: %s\n",
+              rs->rewrite_method().c_str(), same ? "yes" : "NO");
+  return 0;
+}

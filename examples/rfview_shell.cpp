@@ -1,0 +1,134 @@
+// Interactive SQL shell over the rfview engine.
+//
+//   $ ./build/examples/rfview_shell
+//   rfview> CREATE TABLE seq (pos INTEGER PRIMARY KEY, val DOUBLE);
+//   rfview> INSERT INTO seq VALUES (1, 10), (2, 20), (3, 30);
+//   rfview> SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1
+//           PRECEDING AND 1 FOLLOWING) FROM seq ORDER BY pos;
+//   rfview> EXPLAIN SELECT ...;
+//   rfview> \rewrite off        -- toggle view rewriting
+//   rfview> \variant union      -- Table 2 pattern variant
+//   rfview> \force minoa        -- force MinOA / maxoa / auto
+//   rfview> \views              -- registered sequence views
+//   rfview> \quit
+//
+// Statements may span lines; a trailing ';' executes.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "db/csv.h"
+#include "db/database.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "meta commands:\n"
+      "  \\help            this text\n"
+      "  \\views           list registered sequence views\n"
+      "  \\rewrite on|off  answer window queries from materialized views\n"
+      "  \\variant disjunctive|union   pattern variant (paper Table 2)\n"
+      "  \\force auto|maxoa|minoa      derivation algorithm choice\n"
+      "  \\import <table> <file.csv>   load CSV into an existing table\n"
+      "  \\export <table> <file.csv>   write a table as CSV\n"
+      "  \\quit            exit\n"
+      "any other input: SQL, terminated by ';'\n");
+}
+
+bool HandleMeta(rfv::Database& db, const std::string& line) {
+  const std::string lower = rfv::ToLower(line);
+  if (lower == "\\help") {
+    PrintHelp();
+  } else if (lower == "\\views") {
+    if (db.view_manager()->views().empty()) {
+      std::printf("(no sequence views)\n");
+    }
+    for (const auto& view : db.view_manager()->views()) {
+      std::printf("%s\n", view->ToString().c_str());
+    }
+  } else if (lower == "\\rewrite on") {
+    db.options().enable_view_rewrite = true;
+  } else if (lower == "\\rewrite off") {
+    db.options().enable_view_rewrite = false;
+  } else if (lower == "\\variant union") {
+    db.options().rewrite_variant = rfv::RewriteVariant::kUnion;
+  } else if (lower == "\\variant disjunctive") {
+    db.options().rewrite_variant = rfv::RewriteVariant::kDisjunctive;
+  } else if (lower == "\\force maxoa") {
+    db.options().force_method = rfv::DerivationMethod::kMaxoa;
+  } else if (lower == "\\force minoa") {
+    db.options().force_method = rfv::DerivationMethod::kMinoa;
+  } else if (lower == "\\force auto") {
+    db.options().force_method.reset();
+  } else if (lower.rfind("\\import ", 0) == 0 ||
+             lower.rfind("\\export ", 0) == 0) {
+    std::istringstream parts(line.substr(1));
+    std::string verb;
+    std::string table;
+    std::string file;
+    parts >> verb >> table >> file;
+    if (table.empty() || file.empty()) {
+      std::printf("usage: \\%s <table> <file.csv>\n", verb.c_str());
+      return true;
+    }
+    const rfv::Result<size_t> n =
+        rfv::ToLower(verb) == "import"
+            ? rfv::ImportCsv(db.catalog(), table, file)
+            : rfv::ExportCsv(db.catalog(), table, file);
+    if (!n.ok()) {
+      std::printf("error: %s\n", n.status().ToString().c_str());
+    } else {
+      std::printf("(%zu rows)\n", *n);
+    }
+  } else if (lower == "\\quit" || lower == "\\q") {
+    return false;
+  } else {
+    std::printf("unknown meta command (try \\help)\n");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  rfv::Database db;
+  std::printf("rfview shell — reporting function views (ICDE 2002)\n"
+              "type \\help for meta commands, SQL terminated by ';'\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "rfview> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (!HandleMeta(db, line)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    const size_t semi = buffer.find(';');
+    if (semi == std::string::npos) continue;
+    const std::string sql = buffer.substr(0, semi);
+    buffer.clear();
+    if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
+
+    rfv::Result<rfv::ResultSet> result = db.Execute(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->is_query()) {
+      std::printf("%s", result->ToString(50).c_str());
+      if (!result->rewrite_method().empty()) {
+        std::printf("-- answered via %s rewrite\n",
+                    result->rewrite_method().c_str());
+      }
+    } else {
+      std::printf("%s\n", result->ToString().c_str());
+    }
+  }
+  return 0;
+}

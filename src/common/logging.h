@@ -1,0 +1,57 @@
+#ifndef RFVIEW_COMMON_LOGGING_H_
+#define RFVIEW_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rfv {
+namespace internal_logging {
+
+/// Aborts the process with a formatted message. Used by RFV_CHECK; check
+/// failures indicate library bugs, never user errors (user errors travel
+/// as Status).
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[rfview] CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace rfv
+
+/// Internal invariant check. Active in all build types: the cost is
+/// negligible outside inner loops and silent corruption is worse than a
+/// crash in a database library.
+#define RFV_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rfv::internal_logging::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                     \
+  } while (0)
+
+/// Like RFV_CHECK with an extra streamed message:
+///   RFV_CHECK_MSG(i < n, "i=" << i << " n=" << n);
+#define RFV_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream _rfv_os;                                         \
+      _rfv_os << stream_expr;                                             \
+      ::rfv::internal_logging::CheckFailed(__FILE__, __LINE__, #cond,     \
+                                           _rfv_os.str());                \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only check for inner loops.
+#ifdef NDEBUG
+#define RFV_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RFV_DCHECK(cond) RFV_CHECK(cond)
+#endif
+
+#endif  // RFVIEW_COMMON_LOGGING_H_

@@ -1,0 +1,26 @@
+#include "common/row.h"
+
+#include <sstream>
+
+namespace rfv {
+
+Row Row::Concat(const Row& left, const Row& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Row(std::move(values));
+}
+
+std::string Row::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rfv

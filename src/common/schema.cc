@@ -1,0 +1,65 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace rfv {
+
+std::optional<size_t> Schema::TryFindColumn(const std::string& qualifier,
+                                            const std::string& name,
+                                            bool* ambiguous) const {
+  if (ambiguous != nullptr) *ambiguous = false;
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnDef& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found.has_value()) {
+      if (ambiguous != nullptr) *ambiguous = true;
+      return std::nullopt;
+    }
+    found = i;
+  }
+  return found;
+}
+
+Result<size_t> Schema::FindColumn(const std::string& qualifier,
+                                  const std::string& name) const {
+  bool ambiguous = false;
+  std::optional<size_t> idx = TryFindColumn(qualifier, name, &ambiguous);
+  const std::string display =
+      qualifier.empty() ? name : qualifier + "." + name;
+  if (ambiguous) {
+    return Status::BindError("ambiguous column reference: " + display);
+  }
+  if (!idx.has_value()) {
+    return Status::NotFound("column not found: " + display);
+  }
+  return *idx;
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  std::vector<ColumnDef> columns = columns_;
+  for (ColumnDef& c : columns) c.qualifier = alias;
+  return Schema(std::move(columns));
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> columns = left.columns_;
+  columns.insert(columns.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].QualifiedName() << " " << DataTypeName(columns_[i].type);
+  }
+  return os.str();
+}
+
+}  // namespace rfv

@@ -1,0 +1,76 @@
+#ifndef RFVIEW_COMMON_SCHEMA_H_
+#define RFVIEW_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rfv {
+
+/// A named, typed output column. `qualifier` is the table name or alias
+/// the column is visible under ("s1.pos" has qualifier "s1", name "pos");
+/// empty for computed columns without an alias scope.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+  std::string qualifier;
+
+  ColumnDef() = default;
+  ColumnDef(std::string name_in, DataType type_in, std::string qualifier_in = "")
+      : name(std::move(name_in)),
+        type(type_in),
+        qualifier(std::move(qualifier_in)) {}
+
+  /// "qualifier.name" or "name".
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// An ordered list of column definitions describing a table or an
+/// operator's output. Column name lookup follows SQL scoping: an
+/// unqualified name matches any column with that name (ambiguity is an
+/// error); a qualified name must match both parts.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef column) { columns_.push_back(std::move(column)); }
+
+  /// Finds the index of a column. `qualifier` empty means unqualified
+  /// lookup. Errors: kBindError on ambiguity, kNotFound when absent.
+  Result<size_t> FindColumn(const std::string& qualifier,
+                            const std::string& name) const;
+
+  /// Like FindColumn but never fails on absence: returns nullopt. Still
+  /// returns nullopt (and sets *ambiguous) when the lookup is ambiguous.
+  std::optional<size_t> TryFindColumn(const std::string& qualifier,
+                                      const std::string& name,
+                                      bool* ambiguous = nullptr) const;
+
+  /// Returns a copy of this schema with every column re-qualified to
+  /// `alias` (used for `FROM (subquery) alias` and table aliases).
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Concatenates two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "name TYPE, name TYPE, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_SCHEMA_H_

@@ -1,0 +1,178 @@
+#ifndef RFVIEW_COMMON_STATUS_H_
+#define RFVIEW_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rfv {
+
+/// Error categories used across the library. Modeled after the
+/// status-code style of LevelDB/RocksDB: errors travel as values, no
+/// exceptions cross a public API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< table/column/view/index does not exist
+  kAlreadyExists,     ///< duplicate table/view/index name
+  kParseError,        ///< SQL text could not be parsed
+  kBindError,         ///< semantic analysis failed (unknown column, ...)
+  kTypeError,         ///< expression/type mismatch
+  kNotDerivable,      ///< query cannot be derived from the given view
+  kNotSupported,      ///< feature outside the implemented SQL subset
+  kExecutionError,    ///< runtime failure while executing a plan
+  kInternal,          ///< invariant violation (bug)
+};
+
+/// Returns a short human-readable name for a status code.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kBindError: return "BindError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kNotDerivable: return "NotDerivable";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kExecutionError: return "ExecutionError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// A cheap, copyable success-or-error value.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotDerivable(std::string msg) {
+    return Status(StatusCode::kNotDerivable, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, the return type of fallible factories.
+///
+/// Usage:
+///   Result<Plan> r = Plan::Create(...);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_t;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK when this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define RFV_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::rfv::Status _rfv_status = (expr);           \
+    if (!_rfv_status.ok()) return _rfv_status;    \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// move-assigns the value into `lhs`. `lhs` must be declared already.
+#define RFV_ASSIGN_OR_RETURN(lhs, expr)           \
+  do {                                            \
+    auto _rfv_result = (expr);                    \
+    if (!_rfv_result.ok()) return _rfv_result.status(); \
+    lhs = std::move(_rfv_result).value();         \
+  } while (0)
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_STATUS_H_

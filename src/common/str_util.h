@@ -1,0 +1,25 @@
+#ifndef RFVIEW_COMMON_STR_UTIL_H_
+#define RFVIEW_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rfv {
+
+/// ASCII-lowercases a string (SQL identifiers and keywords are
+/// case-insensitive in this engine).
+std::string ToLower(const std::string& s);
+
+/// ASCII-uppercases a string.
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_STR_UTIL_H_

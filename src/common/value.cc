@@ -1,0 +1,127 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rfv {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt64: return "INTEGER";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+    case DataType::kBool: return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  if (std::holds_alternative<std::monostate>(rep_)) return DataType::kNull;
+  if (std::holds_alternative<int64_t>(rep_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(rep_)) return DataType::kDouble;
+  if (std::holds_alternative<std::string>(rep_)) return DataType::kString;
+  return DataType::kBool;
+}
+
+double Value::ToDouble() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  RFV_CHECK_MSG(std::holds_alternative<double>(rep_),
+                "ToDouble on non-numeric value " << ToString());
+  return std::get<double>(rep_);
+}
+
+namespace {
+
+/// Rank used to order values of different type tags; numerics share a rank
+/// so that Int(2) and Double(2.5) compare numerically.
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: return 1;
+    case DataType::kInt64:
+    case DataType::kDouble: return 2;
+    case DataType::kString: return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int lr = TypeRank(*this);
+  const int rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (lr) {
+    case 0:  // both NULL
+      return 0;
+    case 1: {  // bool
+      const bool a = AsBool();
+      const bool b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case 2: {  // numeric
+      // Compare int64/int64 exactly; mixed or double via double.
+      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+        const int64_t a = AsInt();
+        const int64_t b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      const double a = ToDouble();
+      const double b = other.ToDouble();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    default: {  // string
+      const int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case DataType::kBool:
+      return std::hash<bool>{}(AsBool());
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Hash by double so equal-comparing numerics hash equally. Integers
+      // up to 2^53 round-trip exactly, which covers every position/id the
+      // engine produces.
+      const double d = ToDouble();
+      if (d == 0.0) return 0;  // normalize -0.0
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace rfv

@@ -1,0 +1,87 @@
+#ifndef RFVIEW_COMMON_VALUE_H_
+#define RFVIEW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace rfv {
+
+/// Scalar SQL types supported by the engine. The paper's workloads need
+/// integers (sequence positions, ids, dates-as-ints), doubles (measures,
+/// AVG results) and strings (dimension attributes such as region names).
+enum class DataType {
+  kNull = 0,  ///< the type of an untyped NULL literal
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Returns the SQL-ish name of a type ("INTEGER", "DOUBLE", ...).
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed scalar cell. Values are small, copyable and
+/// immutable; NULL is represented explicitly (any DataType column may
+/// hold NULL).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Runtime type of the stored value; kNull when NULL.
+  DataType type() const;
+
+  /// Accessors. Preconditions: the value holds the requested type.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+
+  /// Numeric coercion: int64 and double convert to double; other types
+  /// (incl. NULL) are a precondition violation.
+  double ToDouble() const;
+
+  /// True when this value is kInt64 or kDouble.
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(rep_) ||
+           std::holds_alternative<double>(rep_);
+  }
+
+  /// Three-way comparison with SQL-style total order for sorting:
+  /// NULL < everything; numeric types compare by numeric value across
+  /// int64/double; bool < numbers is never needed (types are checked at
+  /// bind time) but falls back to type-tag ordering for robustness.
+  int Compare(const Value& other) const;
+
+  /// Equality consistent with Compare()==0 (so NULL == NULL here; the
+  /// SQL `=` operator with NULL semantics lives in the evaluator).
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric values hash by double
+  /// representation so Int(2) and Double(2.0) collide, matching Compare).
+  size_t Hash() const;
+
+  /// Rendering for result printing and debugging ("NULL", "42", "3.5",
+  /// "'abc'").
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_VALUE_H_

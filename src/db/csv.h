@@ -1,0 +1,40 @@
+#ifndef RFVIEW_DB_CSV_H_
+#define RFVIEW_DB_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace rfv {
+
+/// CSV loading/unloading for warehouse-style bulk data movement.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line on import / write a column-name line on export.
+  bool header = true;
+  /// Input text treated as NULL on import (and written for NULLs on
+  /// export).
+  std::string null_text;
+};
+
+/// Imports `path` into the existing table `table_name`. Each field is
+/// coerced to the column's declared type: INTEGER/DOUBLE parse
+/// numerically, BOOLEAN accepts true/false/1/0 (case-insensitive),
+/// VARCHAR takes the raw text; `null_text` (default: the empty field)
+/// becomes NULL. Fields may be double-quoted with `""` escaping and may
+/// contain embedded delimiters and newlines. Returns rows inserted;
+/// errors: kNotFound (table/file), kInvalidArgument (arity or parse
+/// failures, with line numbers). The import is all-or-nothing.
+Result<size_t> ImportCsv(Catalog* catalog, const std::string& table_name,
+                         const std::string& path,
+                         const CsvOptions& options = {});
+
+/// Exports the table to `path`. Returns rows written.
+Result<size_t> ExportCsv(Catalog* catalog, const std::string& table_name,
+                         const std::string& path,
+                         const CsvOptions& options = {});
+
+}  // namespace rfv
+
+#endif  // RFVIEW_DB_CSV_H_

@@ -1,0 +1,335 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "expr/eval.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+#include "plan/planner.h"
+
+namespace rfv {
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  Statement stmt;
+  RFV_ASSIGN_OR_RETURN(stmt, Parser::ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Status Database::ExecuteScript(const std::string& sql) {
+  std::vector<Statement> statements;
+  RFV_ASSIGN_OR_RETURN(statements, Parser::ParseScript(sql));
+  for (const Statement& stmt : statements) {
+    Result<ResultSet> r = ExecuteStatement(stmt);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  Statement stmt;
+  RFV_ASSIGN_OR_RETURN(stmt, Parser::ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::NotSupported("EXPLAIN supports SELECT statements only");
+  }
+  Binder binder(&catalog_);
+  LogicalPlanPtr plan;
+  RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
+  plan = OptimizePlan(std::move(plan));
+  return plan->ToString();
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select, /*allow_rewrite=*/true);
+    case Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case Statement::Kind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(*stmt.insert);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(*stmt.update);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(*stmt.del);
+    case Statement::Kind::kCreateView:
+      return ExecuteCreateView(*stmt.create_view);
+    case Statement::Kind::kDropTable:
+      return ExecuteDropTable(*stmt.drop_table);
+    case Statement::Kind::kExplain: {
+      // Render the optimized plan — and the rewrite decision, if the
+      // view rewriter would answer the query from a materialized view.
+      std::string text;
+      if (options_.enable_view_rewrite) {
+        RewriteOptions rewrite_options;
+        rewrite_options.variant = options_.rewrite_variant;
+        rewrite_options.force_method = options_.force_method;
+        std::optional<RewriteResult> rewrite;
+        RFV_ASSIGN_OR_RETURN(rewrite,
+                             rewriter_.TryRewrite(*stmt.select,
+                                                  rewrite_options));
+        if (rewrite.has_value()) {
+          text += "Rewrite: " +
+                  std::string(DerivationMethodName(rewrite->choice.method)) +
+                  " using view " + rewrite->choice.view->view_name + "\n" +
+                  rewrite->sql + "\n";
+        }
+      }
+      Binder binder(&catalog_);
+      LogicalPlanPtr plan;
+      RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
+      plan = OptimizePlan(std::move(plan));
+      text += plan->ToString();
+      Schema schema;
+      schema.AddColumn(ColumnDef("plan", DataType::kString));
+      std::vector<Row> rows;
+      // One row per line for readable shell output.
+      size_t start = 0;
+      while (start <= text.size()) {
+        const size_t end = text.find('\n', start);
+        const std::string line =
+            text.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+        if (!line.empty()) rows.push_back(Row({Value::String(line)}));
+        if (end == std::string::npos) break;
+        start = end + 1;
+      }
+      return ResultSet(std::move(schema), std::move(rows));
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
+                                          bool allow_rewrite) {
+  if (allow_rewrite && options_.enable_view_rewrite) {
+    RewriteOptions rewrite_options;
+    rewrite_options.variant = options_.rewrite_variant;
+    rewrite_options.force_method = options_.force_method;
+    std::optional<RewriteResult> rewrite;
+    RFV_ASSIGN_OR_RETURN(rewrite,
+                         rewriter_.TryRewrite(stmt, rewrite_options));
+    if (rewrite.has_value()) {
+      Statement rewritten;
+      RFV_ASSIGN_OR_RETURN(rewritten, Parser::ParseStatement(rewrite->sql));
+      if (rewritten.kind != Statement::Kind::kSelect) {
+        return Status::Internal("rewriter produced a non-SELECT");
+      }
+      ResultSet rs;
+      RFV_ASSIGN_OR_RETURN(
+          rs, ExecuteSelect(*rewritten.select, /*allow_rewrite=*/false));
+      rs.SetRewriteInfo(DerivationMethodName(rewrite->choice.method),
+                        rewrite->sql);
+      return rs;
+    }
+  }
+  Binder binder(&catalog_);
+  LogicalPlanPtr plan;
+  RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(stmt));
+  plan = OptimizePlan(std::move(plan));
+  std::vector<Row> rows;
+  RFV_ASSIGN_OR_RETURN(rows, ExecutePlan(*plan, options_.exec));
+  return ResultSet(plan->schema, std::move(rows));
+}
+
+Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  Schema schema;
+  std::vector<std::string> pk_columns;
+  for (const ColumnSpec& col : stmt.columns) {
+    schema.AddColumn(ColumnDef(ToLower(col.name), col.type));
+    if (col.primary_key) pk_columns.push_back(ToLower(col.name));
+  }
+  Table* table = nullptr;
+  {
+    Result<Table*> r = catalog_.CreateTable(stmt.table_name, std::move(schema));
+    if (!r.ok()) return r.status();
+    table = *r;
+  }
+  for (const std::string& pk : pk_columns) {
+    RFV_RETURN_IF_ERROR(
+        table->CreateIndex(ToLower(stmt.table_name) + "_pk_" + pk, pk));
+  }
+  return ResultSet::ForDml(0);
+}
+
+Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  Result<Table*> table = catalog_.GetTable(stmt.table_name);
+  if (!table.ok()) return table.status();
+  RFV_RETURN_IF_ERROR((*table)->CreateIndex(ToLower(stmt.index_name),
+                                            ToLower(stmt.column_name)));
+  return ResultSet::ForDml(0);
+}
+
+Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
+  Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
+  if (!table_result.ok()) return table_result.status();
+  Table* table = *table_result;
+  const Schema& schema = table->schema();
+
+  // Resolve the column list to positions (positional when omitted).
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      Result<size_t> c = schema.FindColumn("", name);
+      if (!c.ok()) return c.status();
+      targets.push_back(*c);
+    }
+  }
+
+  Binder binder(&catalog_);
+  const Schema empty_schema;
+  const Row empty_row;
+  int64_t inserted = 0;
+  for (const std::vector<AstExprPtr>& row_exprs : stmt.rows) {
+    if (row_exprs.size() != targets.size()) {
+      return Status::InvalidArgument(
+          "INSERT value count does not match column count");
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < row_exprs.size(); ++i) {
+      ExprPtr bound;
+      RFV_ASSIGN_OR_RETURN(bound,
+                           binder.BindScalar(*row_exprs[i], empty_schema));
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*bound, empty_row));
+      values[targets[i]] = std::move(v);
+    }
+    RFV_RETURN_IF_ERROR(table->Insert(Row(std::move(values))));
+    ++inserted;
+  }
+  return ResultSet::ForDml(inserted);
+}
+
+Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
+  if (!table_result.ok()) return table_result.status();
+  Table* table = *table_result;
+  const Schema schema =
+      table->schema().WithQualifier(ToLower(stmt.table_name));
+
+  Binder binder(&catalog_);
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (const auto& [name, expr] : stmt.assignments) {
+    Result<size_t> c = table->schema().FindColumn("", name);
+    if (!c.ok()) return c.status();
+    ExprPtr bound;
+    RFV_ASSIGN_OR_RETURN(bound, binder.BindScalar(*expr, schema));
+    assignments.emplace_back(*c, std::move(bound));
+  }
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    RFV_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
+  }
+
+  // Two-phase: evaluate first, apply second (self-referencing updates).
+  std::vector<std::pair<size_t, Row>> updates;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    const Row& row = table->row(r);
+    if (where != nullptr) {
+      bool keep = false;
+      RFV_ASSIGN_OR_RETURN(keep, Evaluator::EvalPredicate(*where, row));
+      if (!keep) continue;
+    }
+    Row updated = row;
+    for (const auto& [column, expr] : assignments) {
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*expr, row));
+      updated[column] = std::move(v);
+    }
+    updates.emplace_back(r, std::move(updated));
+  }
+  for (auto& [r, row] : updates) {
+    RFV_RETURN_IF_ERROR(table->UpdateRow(r, std::move(row)));
+  }
+  return ResultSet::ForDml(static_cast<int64_t>(updates.size()));
+}
+
+Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
+  Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
+  if (!table_result.ok()) return table_result.status();
+  Table* table = *table_result;
+  const Schema schema =
+      table->schema().WithQualifier(ToLower(stmt.table_name));
+
+  Binder binder(&catalog_);
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    RFV_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
+  }
+  std::vector<size_t> victims;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    if (where != nullptr) {
+      bool hit = false;
+      RFV_ASSIGN_OR_RETURN(hit,
+                           Evaluator::EvalPredicate(*where, table->row(r)));
+      if (!hit) continue;
+    }
+    victims.push_back(r);
+  }
+  // Delete from the back so earlier row ids stay valid.
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    RFV_RETURN_IF_ERROR(table->DeleteRow(*it));
+  }
+  return ResultSet::ForDml(static_cast<int64_t>(victims.size()));
+}
+
+Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
+  if (!stmt.materialized) {
+    return Status::NotSupported(
+        "only MATERIALIZED views are supported (the paper's subject)");
+  }
+  // A sequence-view-shaped SELECT becomes a registered sequence view
+  // with complete header/trailer; anything else materializes as a plain
+  // snapshot table.
+  bool wants_order = false;
+  const std::optional<SeqQuery> seq_query =
+      Rewriter::RecognizeSimpleWindowQuery(*stmt.query, &wants_order);
+  if (seq_query.has_value() && !seq_query->is_avg) {
+    SequenceViewDef def;
+    def.view_name = ToLower(stmt.view_name);
+    def.base_table = seq_query->base_table;
+    def.value_column = seq_query->value_column;
+    def.order_column = seq_query->order_column;
+    def.partition_columns = seq_query->partition_columns;
+    def.fn = seq_query->fn;
+    def.window = seq_query->window;
+    def.indexed = true;
+    Result<const SequenceViewDef*> r = views_.CreateSequenceView(def);
+    if (!r.ok()) return r.status();
+    Result<Table*> content = catalog_.GetTable(def.view_name);
+    if (!content.ok()) return content.status();
+    return ResultSet::ForDml(static_cast<int64_t>((*content)->NumRows()));
+  }
+
+  // Generic materialization: run the query, snapshot the result.
+  ResultSet rs;
+  RFV_ASSIGN_OR_RETURN(rs, ExecuteSelect(*stmt.query, /*allow_rewrite=*/true));
+  Schema schema;
+  for (size_t i = 0; i < rs.schema().NumColumns(); ++i) {
+    const ColumnDef& col = rs.schema().column(i);
+    schema.AddColumn(ColumnDef(ToLower(col.name), col.type));
+  }
+  Table* table = nullptr;
+  {
+    Result<Table*> r = catalog_.CreateTable(stmt.view_name, std::move(schema));
+    if (!r.ok()) return r.status();
+    table = *r;
+  }
+  std::vector<Row> rows = rs.rows();
+  RFV_RETURN_IF_ERROR(table->InsertBatch(std::move(rows)));
+  return ResultSet::ForDml(static_cast<int64_t>(table->NumRows()));
+}
+
+Result<ResultSet> Database::ExecuteDropTable(const DropTableStmt& stmt) {
+  if (views_.FindView(ToLower(stmt.table_name)) != nullptr) {
+    RFV_RETURN_IF_ERROR(views_.DropView(stmt.table_name));
+    return ResultSet::ForDml(0);
+  }
+  RFV_RETURN_IF_ERROR(catalog_.DropTable(stmt.table_name));
+  return ResultSet::ForDml(0);
+}
+
+}  // namespace rfv

@@ -1,0 +1,85 @@
+#ifndef RFVIEW_DB_DATABASE_H_
+#define RFVIEW_DB_DATABASE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "db/result_set.h"
+#include "exec/executor.h"
+#include "parser/ast.h"
+#include "rewrite/rewriter.h"
+#include "storage/catalog.h"
+#include "view/view_manager.h"
+
+namespace rfv {
+
+/// The top-level façade: SQL text in, ResultSet out. Wires together the
+/// catalog, parser, binder, optimizer, executor, view manager and the
+/// reporting-function view rewriter.
+///
+///   Database db;
+///   db.Execute("CREATE TABLE seq (pos INTEGER PRIMARY KEY, val DOUBLE)");
+///   db.Execute("INSERT INTO seq VALUES (1, 10), (2, 20), (3, 30)");
+///   auto rs = db.Execute(
+///       "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 "
+///       "PRECEDING AND 1 FOLLOWING) FROM seq ORDER BY pos");
+///
+/// `CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER (...) FROM
+/// seq` materializes a *complete* sequence view (header/trailer rows)
+/// and registers it with the rewriter; subsequent window queries over
+/// `seq` are answered from `v` via the paper's derivation patterns when
+/// derivable (see options()).
+class Database {
+ public:
+  struct Options {
+    /// Answer window queries from materialized sequence views when
+    /// derivable (paper §3–§5). Off = always compute from base data.
+    bool enable_view_rewrite = true;
+    /// Disjunctive-predicate vs. UNION pattern variant (paper Table 2).
+    RewriteVariant rewrite_variant = RewriteVariant::kDisjunctive;
+    /// Force MaxOA or MinOA instead of the automatic choice.
+    std::optional<DerivationMethod> force_method;
+    /// Physical execution knobs (index/hash join toggles).
+    ExecOptions exec;
+  };
+
+  Database() : views_(&catalog_), rewriter_(&catalog_, &views_) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one SQL statement.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Executes a `;`-separated script, discarding SELECT results.
+  Status ExecuteScript(const std::string& sql);
+
+  /// Renders the optimized logical plan of a SELECT.
+  Result<std::string> Explain(const std::string& sql);
+
+  Catalog* catalog() { return &catalog_; }
+  ViewManager* view_manager() { return &views_; }
+  const Rewriter& rewriter() const { return rewriter_; }
+  Options& options() { return options_; }
+
+ private:
+  Result<ResultSet> ExecuteStatement(const Statement& stmt);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, bool allow_rewrite);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+  Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt);
+  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
+
+  Catalog catalog_;
+  ViewManager views_;
+  Rewriter rewriter_;
+  Options options_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_DB_DATABASE_H_

@@ -1,0 +1,62 @@
+#ifndef RFVIEW_DB_RESULT_SET_H_
+#define RFVIEW_DB_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace rfv {
+
+/// The outcome of executing one SQL statement: rows + schema for
+/// SELECTs, an affected-row count for DML/DDL, plus rewrite provenance
+/// when the view rewriter answered the query from a materialized view.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)), is_query_(true) {}
+
+  static ResultSet ForDml(int64_t affected) {
+    ResultSet rs;
+    rs.affected_ = affected;
+    return rs;
+  }
+
+  bool is_query() const { return is_query_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+  int64_t affected() const { return affected_; }
+
+  const Value& at(size_t row, size_t column) const {
+    return rows_[row][column];
+  }
+
+  /// Column index by (unqualified) name; -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Rewrite provenance (empty when the query ran against base data).
+  const std::string& rewrite_method() const { return rewrite_method_; }
+  const std::string& rewritten_sql() const { return rewritten_sql_; }
+  void SetRewriteInfo(std::string method, std::string sql) {
+    rewrite_method_ = std::move(method);
+    rewritten_sql_ = std::move(sql);
+  }
+
+  /// ASCII table rendering (examples / debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  bool is_query_ = false;
+  int64_t affected_ = -1;
+  std::string rewrite_method_;
+  std::string rewritten_sql_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_DB_RESULT_SET_H_

@@ -1,0 +1,149 @@
+#include "exec/operators.h"
+
+#include "common/logging.h"
+#include "expr/eval.h"
+
+namespace rfv {
+
+namespace {
+
+/// Streaming accumulator for one aggregate call. NULL inputs are ignored
+/// (SQL semantics); COUNT(*) counts rows regardless.
+struct Accumulator {
+  const AggregateCall* call = nullptr;
+  int64_t count = 0;
+  int64_t sum_int = 0;
+  double sum_double = 0;
+  Value extreme;  ///< running MIN/MAX
+  bool has_value = false;
+
+  void AddRowForCountStar() { ++count; }
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    has_value = true;
+    switch (call->fn) {
+      case AggFn::kSum:
+        if (call->output_type == DataType::kInt64) {
+          sum_int += v.AsInt();
+        } else {
+          sum_double += v.ToDouble();
+        }
+        break;
+      case AggFn::kAvg:
+        sum_double += v.ToDouble();
+        break;
+      case AggFn::kCount:
+        break;
+      case AggFn::kMin:
+        if (extreme.is_null() || v.Compare(extreme) < 0) extreme = v;
+        break;
+      case AggFn::kMax:
+        if (extreme.is_null() || v.Compare(extreme) > 0) extreme = v;
+        break;
+    }
+  }
+
+  Value Finish() const {
+    switch (call->fn) {
+      case AggFn::kCount:
+        return Value::Int(count);
+      case AggFn::kSum:
+        if (!has_value) return Value::Null();
+        return call->output_type == DataType::kInt64
+                   ? Value::Int(sum_int)
+                   : Value::Double(sum_double);
+      case AggFn::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum_double / static_cast<double>(count));
+      case AggFn::kMin:
+      case AggFn::kMax:
+        return extreme;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Status HashAggregateOp::Open() {
+  results_.clear();
+  pos_ = 0;
+  RFV_RETURN_IF_ERROR(child_->Open());
+
+  // Group state; insertion order is preserved for deterministic output.
+  std::unordered_map<std::vector<Value>, size_t, RowColumnsHash> group_index;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<Accumulator>> group_accs;
+
+  const auto new_group = [&](const std::vector<Value>& key) -> size_t {
+    group_keys.push_back(key);
+    std::vector<Accumulator> accs(aggregates_.size());
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      accs[i].call = &aggregates_[i];
+    }
+    group_accs.push_back(std::move(accs));
+    return group_keys.size() - 1;
+  };
+
+  // Global aggregation emits one row even for empty input.
+  if (group_by_.empty()) {
+    group_index[{}] = new_group({});
+  }
+
+  while (true) {
+    Row row;
+    bool eof = false;
+    RFV_RETURN_IF_ERROR(child_->Next(&row, &eof));
+    if (eof) break;
+
+    std::vector<Value> key;
+    key.reserve(group_by_.size());
+    for (const ExprPtr& g : group_by_) {
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*g, row));
+      key.push_back(std::move(v));
+    }
+    size_t gi;
+    const auto it = group_index.find(key);
+    if (it != group_index.end()) {
+      gi = it->second;
+    } else {
+      gi = new_group(key);
+      group_index.emplace(std::move(key), gi);
+    }
+    std::vector<Accumulator>& accs = group_accs[gi];
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].is_count_star) {
+        accs[i].AddRowForCountStar();
+      } else {
+        Value v;
+        RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*aggregates_[i].arg, row));
+        accs[i].Add(v);
+      }
+    }
+  }
+
+  results_.reserve(group_keys.size());
+  for (size_t gi = 0; gi < group_keys.size(); ++gi) {
+    std::vector<Value> out = std::move(group_keys[gi]);
+    for (const Accumulator& acc : group_accs[gi]) {
+      out.push_back(acc.Finish());
+    }
+    results_.push_back(Row(std::move(out)));
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOp::Next(Row* row, bool* eof) {
+  if (pos_ >= results_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *row = std::move(results_[pos_++]);
+  *eof = false;
+  return Status::OK();
+}
+
+}  // namespace rfv

@@ -1,0 +1,249 @@
+#include "exec/executor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "exec/operators.h"
+#include "plan/planner.h"
+
+namespace rfv {
+
+namespace {
+
+/// Clones a vector of expressions.
+std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& exprs) {
+  std::vector<ExprPtr> out;
+  out.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) out.push_back(e->Clone());
+  return out;
+}
+
+std::vector<SortKey> CloneSortKeys(const std::vector<SortKey>& keys) {
+  std::vector<SortKey> out;
+  out.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    SortKey copy;
+    copy.expr = k.expr->Clone();
+    copy.ascending = k.ascending;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+AggregateCall CloneAggregateCall(const AggregateCall& call) {
+  AggregateCall copy;
+  copy.fn = call.fn;
+  copy.arg = call.arg != nullptr ? call.arg->Clone() : nullptr;
+  copy.is_count_star = call.is_count_star;
+  copy.output_name = call.output_name;
+  copy.output_type = call.output_type;
+  return copy;
+}
+
+WindowCall CloneWindowCall(const WindowCall& call) {
+  WindowCall copy;
+  copy.kind = call.kind;
+  copy.fn = call.fn;
+  copy.arg = call.arg != nullptr ? call.arg->Clone() : nullptr;
+  copy.is_count_star = call.is_count_star;
+  copy.partition_by = CloneExprs(call.partition_by);
+  copy.order_by = CloneSortKeys(call.order_by);
+  copy.frame = call.frame;
+  copy.output_name = call.output_name;
+  copy.output_type = call.output_type;
+  return copy;
+}
+
+/// Extracts hash-join equi keys from a join condition: conjuncts of the
+/// form <left-only expr> = <right-only expr> become key pairs (right key
+/// re-bound to the right child's schema); everything else is residual.
+void ExtractEquiKeys(ExprPtr condition, size_t left_width,
+                     std::vector<ExprPtr>* left_keys,
+                     std::vector<ExprPtr>* right_keys, ExprPtr* residual) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(std::move(condition), &conjuncts);
+  std::vector<ExprPtr> residual_conjuncts;
+  for (ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      Expr& lhs = *c->children[0];
+      Expr& rhs = *c->children[1];
+      const size_t total = static_cast<size_t>(-1);
+      if (RefsOnlyRange(lhs, 0, left_width) &&
+          RefsOnlyRange(rhs, left_width, total)) {
+        ShiftColumnRefs(&rhs, -static_cast<int64_t>(left_width));
+        left_keys->push_back(std::move(c->children[0]));
+        right_keys->push_back(std::move(c->children[1]));
+        continue;
+      }
+      if (RefsOnlyRange(rhs, 0, left_width) &&
+          RefsOnlyRange(lhs, left_width, total)) {
+        ShiftColumnRefs(&lhs, -static_cast<int64_t>(left_width));
+        left_keys->push_back(std::move(c->children[1]));
+        right_keys->push_back(std::move(c->children[0]));
+        continue;
+      }
+    }
+    residual_conjuncts.push_back(std::move(c));
+  }
+  *residual = CombineConjuncts(std::move(residual_conjuncts));
+}
+
+Result<PhysicalOperatorPtr> BuildJoin(const LogicalPlan& plan,
+                                      const ExecOptions& options) {
+  const LogicalPlan& left_plan = *plan.children[0];
+  const LogicalPlan& right_plan = *plan.children[1];
+  const size_t left_width = left_plan.schema.NumColumns();
+
+  PhysicalOperatorPtr left;
+  RFV_ASSIGN_OR_RETURN(left, BuildPhysicalPlan(left_plan, options));
+
+  // Index nested-loop join: right side must be a bare table scan with a
+  // usable ordered index.
+  if (options.enable_index_nested_loop_join &&
+      plan.join_condition != nullptr &&
+      right_plan.kind == PlanKind::kScan) {
+    std::optional<IndexProbeSpec> probe = TryExtractIndexProbe(
+        *plan.join_condition, left_width, right_plan.table);
+    if (probe.has_value()) {
+      if (probe->approximate || probe->residual != nullptr) {
+        // Re-check the full condition unless the probe proved exactness
+        // of everything it consumed.
+        if (probe->approximate) {
+          probe->residual = plan.join_condition->Clone();
+        }
+      }
+      return PhysicalOperatorPtr(new IndexNestedLoopJoinOp(
+          plan.schema, std::move(left), right_plan.table, right_plan.schema,
+          std::move(*probe), plan.join_type));
+    }
+  }
+
+  PhysicalOperatorPtr right;
+  RFV_ASSIGN_OR_RETURN(right, BuildPhysicalPlan(right_plan, options));
+
+  // Hash or sort-merge join on equi conjuncts (hash preferred).
+  if ((options.enable_hash_join || options.enable_sort_merge_join) &&
+      plan.join_condition != nullptr) {
+    std::vector<ExprPtr> left_keys;
+    std::vector<ExprPtr> right_keys;
+    ExprPtr residual;
+    ExtractEquiKeys(plan.join_condition->Clone(), left_width, &left_keys,
+                    &right_keys, &residual);
+    if (!left_keys.empty()) {
+      if (options.enable_hash_join) {
+        return PhysicalOperatorPtr(new HashJoinOp(
+            plan.schema, std::move(left), std::move(right),
+            std::move(left_keys), std::move(right_keys),
+            std::move(residual), plan.join_type));
+      }
+      return PhysicalOperatorPtr(new SortMergeJoinOp(
+          plan.schema, std::move(left), std::move(right),
+          std::move(left_keys), std::move(right_keys), std::move(residual),
+          plan.join_type));
+    }
+  }
+
+  return PhysicalOperatorPtr(new NestedLoopJoinOp(
+      plan.schema, std::move(left), std::move(right),
+      plan.join_condition != nullptr ? plan.join_condition->Clone() : nullptr,
+      plan.join_type));
+}
+
+}  // namespace
+
+Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
+                                              const ExecOptions& options) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return PhysicalOperatorPtr(new TableScanOp(plan.schema, plan.table));
+    case PlanKind::kFilter: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      return PhysicalOperatorPtr(new FilterOp(plan.schema, std::move(child),
+                                              plan.predicate->Clone()));
+    }
+    case PlanKind::kProject: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      return PhysicalOperatorPtr(new ProjectOp(plan.schema, std::move(child),
+                                               CloneExprs(plan.projections)));
+    }
+    case PlanKind::kJoin:
+      return BuildJoin(plan, options);
+    case PlanKind::kAggregate: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      std::vector<AggregateCall> calls;
+      calls.reserve(plan.aggregates.size());
+      for (const AggregateCall& c : plan.aggregates) {
+        calls.push_back(CloneAggregateCall(c));
+      }
+      return PhysicalOperatorPtr(
+          new HashAggregateOp(plan.schema, std::move(child),
+                              CloneExprs(plan.group_by), std::move(calls)));
+    }
+    case PlanKind::kWindow: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      std::vector<WindowCall> calls;
+      calls.reserve(plan.window_calls.size());
+      for (const WindowCall& c : plan.window_calls) {
+        calls.push_back(CloneWindowCall(c));
+      }
+      return PhysicalOperatorPtr(
+          new WindowOp(plan.schema, std::move(child), std::move(calls)));
+    }
+    case PlanKind::kSort: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      return PhysicalOperatorPtr(new SortOp(plan.schema, std::move(child),
+                                            CloneSortKeys(plan.sort_keys)));
+    }
+    case PlanKind::kUnionAll: {
+      std::vector<PhysicalOperatorPtr> children;
+      children.reserve(plan.children.size());
+      for (const auto& child_plan : plan.children) {
+        PhysicalOperatorPtr child;
+        RFV_ASSIGN_OR_RETURN(child, BuildPhysicalPlan(*child_plan, options));
+        children.push_back(std::move(child));
+      }
+      return PhysicalOperatorPtr(
+          new UnionAllOp(plan.schema, std::move(children)));
+    }
+    case PlanKind::kLimit: {
+      PhysicalOperatorPtr child;
+      RFV_ASSIGN_OR_RETURN(child,
+                           BuildPhysicalPlan(*plan.children[0], options));
+      return PhysicalOperatorPtr(
+          new LimitOp(plan.schema, std::move(child), plan.limit));
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
+  RFV_RETURN_IF_ERROR(op->Open());
+  std::vector<Row> rows;
+  while (true) {
+    Row row;
+    bool eof = false;
+    RFV_RETURN_IF_ERROR(op->Next(&row, &eof));
+    if (eof) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> ExecutePlan(const LogicalPlan& plan,
+                                     const ExecOptions& options) {
+  PhysicalOperatorPtr op;
+  RFV_ASSIGN_OR_RETURN(op, BuildPhysicalPlan(plan, options));
+  return ExecuteToVector(op.get());
+}
+
+}  // namespace rfv

@@ -1,0 +1,66 @@
+#ifndef RFVIEW_EXEC_EXECUTOR_H_
+#define RFVIEW_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace rfv {
+
+/// Pull-based (Volcano-style) physical operator. Lifecycle:
+/// Open() once, Next() until *eof, destructor releases state.
+class PhysicalOperator {
+ public:
+  explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~PhysicalOperator() = default;
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *row, or sets *eof = true (row left
+  /// untouched) when the stream is exhausted.
+  virtual Status Next(Row* row, bool* eof) = 0;
+
+  const Schema& schema() const { return schema_; }
+
+ protected:
+  Schema schema_;
+};
+
+using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Knobs for physical plan selection. The defaults give the engine its
+/// best plans; benchmarks flip them to reproduce the paper's comparison
+/// axes (e.g. Table 1 "self join without index" by disabling index
+/// joins even when an index exists).
+struct ExecOptions {
+  bool enable_index_nested_loop_join = true;
+  bool enable_hash_join = true;
+  /// Sort-merge join for equi joins; consulted when the hash join is
+  /// disabled or skipped (hash is the default equi strategy).
+  bool enable_sort_merge_join = false;
+};
+
+/// Lowers a logical plan to a physical operator tree. Join
+/// implementation choice (index nested-loop vs. hash vs. nested-loop)
+/// happens here; see exec/join.cc for the probe-condition extraction.
+/// Expressions are cloned — the logical plan stays reusable.
+Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
+                                              const ExecOptions& options = {});
+
+/// Runs an operator tree to completion.
+Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op);
+
+/// Convenience: build + run.
+Result<std::vector<Row>> ExecutePlan(const LogicalPlan& plan,
+                                     const ExecOptions& options = {});
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_EXECUTOR_H_

@@ -1,0 +1,26 @@
+#include "exec/operators.h"
+
+#include "expr/eval.h"
+
+namespace rfv {
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Status FilterOp::Next(Row* row, bool* eof) {
+  while (true) {
+    bool child_eof = false;
+    RFV_RETURN_IF_ERROR(child_->Next(row, &child_eof));
+    if (child_eof) {
+      *eof = true;
+      return Status::OK();
+    }
+    bool keep = false;
+    RFV_ASSIGN_OR_RETURN(keep, Evaluator::EvalPredicate(*predicate_, *row));
+    if (keep) {
+      *eof = false;
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace rfv

@@ -1,0 +1,26 @@
+#include "exec/operators.h"
+
+namespace rfv {
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Status LimitOp::Next(Row* row, bool* eof) {
+  if (produced_ >= limit_) {
+    *eof = true;
+    return Status::OK();
+  }
+  bool child_eof = false;
+  RFV_RETURN_IF_ERROR(child_->Next(row, &child_eof));
+  if (child_eof) {
+    *eof = true;
+    return Status::OK();
+  }
+  ++produced_;
+  *eof = false;
+  return Status::OK();
+}
+
+}  // namespace rfv

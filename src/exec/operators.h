@@ -1,0 +1,355 @@
+#ifndef RFVIEW_EXEC_OPERATORS_H_
+#define RFVIEW_EXEC_OPERATORS_H_
+
+// Internal header: physical operator classes. Users of the library go
+// through exec/executor.h (BuildPhysicalPlan / ExecutePlan); these
+// classes are exposed for white-box tests.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace rfv {
+
+/// Full scan over a base table. Reads the table's row store directly;
+/// tables must not be mutated while a scan is open.
+class TableScanOp : public PhysicalOperator {
+ public:
+  TableScanOp(Schema schema, Table* table)
+      : PhysicalOperator(std::move(schema)), table_(table) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+  Table* table() const { return table_; }
+
+ private:
+  Table* table_;
+  size_t pos_ = 0;
+};
+
+class FilterOp : public PhysicalOperator {
+ public:
+  FilterOp(Schema schema, PhysicalOperatorPtr child, ExprPtr predicate)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  PhysicalOperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(Schema schema, PhysicalOperatorPtr child,
+            std::vector<ExprPtr> projections)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        projections_(std::move(projections)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  PhysicalOperatorPtr child_;
+  std::vector<ExprPtr> projections_;
+};
+
+/// Nested-loop join: materializes the right input once, then scans it
+/// per left row. Supports inner, cross and left outer joins with an
+/// arbitrary residual condition — the fallback the paper's "self join
+/// method **without** index" rows in Table 1 exercise.
+class NestedLoopJoinOp : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(Schema schema, PhysicalOperatorPtr left,
+                   PhysicalOperatorPtr right, ExprPtr condition,
+                   JoinType join_type)
+      : PhysicalOperator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(std::move(condition)),
+        join_type_(join_type) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  Status AdvanceLeft(bool* eof);
+
+  PhysicalOperatorPtr left_;
+  PhysicalOperatorPtr right_;
+  ExprPtr condition_;
+  JoinType join_type_;
+
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+  size_t right_pos_ = 0;
+  size_t right_width_ = 0;
+};
+
+/// Probe specification for an index nested-loop join: how to derive,
+/// from each left row, the key set to look up in the right table's
+/// ordered index. Produced by TryExtractIndexProbe (exec/join.cc).
+struct IndexProbeSpec {
+  /// Right-table column (table-local index) the probes address.
+  size_t right_column = 0;
+
+  /// Point probes: each expression (bound over the LEFT schema) yields
+  /// one key; a right row qualifies when its key equals any of them.
+  std::vector<ExprPtr> point_exprs;
+
+  /// Range probe (used when point_exprs is empty): optional bounds,
+  /// inclusive. Bound expressions are bound over the LEFT schema.
+  ExprPtr range_lo;
+  ExprPtr range_hi;
+
+  /// True when the probe is a superset of the join condition and the
+  /// full condition must be re-checked on each candidate (e.g. strict
+  /// `<` relaxed to `<=`, or a disjunctive condition widened to its
+  /// column hull). When false the probe is exact and the condition
+  /// conjuncts it covers were already removed from `residual`.
+  bool approximate = true;
+
+  /// Condition to evaluate on each joined candidate row; null = accept.
+  ExprPtr residual;
+};
+
+/// Attempts to turn `condition` (bound over the joined schema, left
+/// width `left_width`) into an index probe on an indexed column of
+/// `right_table`. Returns nullopt when no usable pattern is found.
+///
+/// Recognized per-conjunct patterns on an indexed right column rc:
+///   rc = <left expr>                      → exact point
+///   rc IN (<left exprs>)                  → exact points
+///   <left expr> IN (rc ± const, ...)      → exact points (inverted form,
+///                                           paper Fig. 2/4 predicates)
+///   rc BETWEEN <left lo> AND <left hi>    → exact range
+///   rc < / <= / > / >= <left expr>        → approximate one-sided range
+///   OR of branches each yielding a probe on rc
+///                                         → approximate union/hull probe
+std::optional<IndexProbeSpec> TryExtractIndexProbe(const Expr& condition,
+                                                   size_t left_width,
+                                                   Table* right_table);
+
+/// Index nested-loop join: per left row, probes an ordered index on the
+/// right base table — the paper's "with primary key index" execution
+/// paths in Tables 1 and 2.
+class IndexNestedLoopJoinOp : public PhysicalOperator {
+ public:
+  IndexNestedLoopJoinOp(Schema schema, PhysicalOperatorPtr left,
+                        Table* right_table, Schema right_schema,
+                        IndexProbeSpec spec, JoinType join_type)
+      : PhysicalOperator(std::move(schema)),
+        left_(std::move(left)),
+        right_table_(right_table),
+        right_schema_(std::move(right_schema)),
+        spec_(std::move(spec)),
+        join_type_(join_type) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  Status AdvanceLeft(bool* eof);
+
+  PhysicalOperatorPtr left_;
+  Table* right_table_;
+  Schema right_schema_;
+  IndexProbeSpec spec_;
+  JoinType join_type_;
+
+  OrderedIndex* index_ = nullptr;
+  Row current_left_;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+  std::vector<size_t> candidates_;
+  size_t candidate_pos_ = 0;
+};
+
+/// Hash join on equi-key conjuncts (inner / left outer) with optional
+/// residual condition.
+class HashJoinOp : public PhysicalOperator {
+ public:
+  HashJoinOp(Schema schema, PhysicalOperatorPtr left,
+             PhysicalOperatorPtr right, std::vector<ExprPtr> left_keys,
+             std::vector<ExprPtr> right_keys, ExprPtr residual,
+             JoinType join_type)
+      : PhysicalOperator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        join_type_(join_type) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  Status AdvanceLeft(bool* eof);
+
+  PhysicalOperatorPtr left_;
+  PhysicalOperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;
+  JoinType join_type_;
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, RowColumnsHash>
+      hash_table_;
+  size_t right_width_ = 0;
+  Row current_left_;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Sort-merge join on equi-key conjuncts (inner / left outer) with an
+/// optional residual condition: both inputs are materialized, sorted by
+/// their key vectors, and merged with duplicate-block re-scanning.
+/// NULL keys never match (SQL equi-join semantics).
+class SortMergeJoinOp : public PhysicalOperator {
+ public:
+  SortMergeJoinOp(Schema schema, PhysicalOperatorPtr left,
+                  PhysicalOperatorPtr right, std::vector<ExprPtr> left_keys,
+                  std::vector<ExprPtr> right_keys, ExprPtr residual,
+                  JoinType join_type)
+      : PhysicalOperator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        join_type_(join_type) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  struct Keyed {
+    std::vector<Value> key;
+    Row row;
+    bool has_null_key = false;
+  };
+
+  Status Materialize(PhysicalOperator* input,
+                     const std::vector<ExprPtr>& keys,
+                     std::vector<Keyed>* out);
+
+  PhysicalOperatorPtr left_;
+  PhysicalOperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;
+  JoinType join_type_;
+
+  std::vector<Keyed> left_rows_;
+  std::vector<Keyed> right_rows_;
+  size_t li_ = 0;            ///< current left row
+  size_t rblock_start_ = 0;  ///< first right row of the matching block
+  size_t rblock_end_ = 0;    ///< one past the matching block
+  size_t rpos_ = 0;          ///< cursor within the block
+  bool block_valid_ = false;
+  bool left_matched_ = false;
+  size_t right_width_ = 0;
+};
+
+/// Full-materialization stable sort.
+class SortOp : public PhysicalOperator {
+ public:
+  SortOp(Schema schema, PhysicalOperatorPtr child, std::vector<SortKey> keys)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        keys_(std::move(keys)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  PhysicalOperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash aggregation (grouped or global).
+class HashAggregateOp : public PhysicalOperator {
+ public:
+  HashAggregateOp(Schema schema, PhysicalOperatorPtr child,
+                  std::vector<ExprPtr> group_by,
+                  std::vector<AggregateCall> aggregates)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  PhysicalOperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateCall> aggregates_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Reporting-function (window) operator: materializes its input,
+/// evaluates every WindowCall with an O(1)-amortized-per-row frame
+/// engine (see exec/window_frame.h), appends one column per call, and
+/// re-emits rows in their original input order.
+class WindowOp : public PhysicalOperator {
+ public:
+  WindowOp(Schema schema, PhysicalOperatorPtr child,
+           std::vector<WindowCall> calls)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        calls_(std::move(calls)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  Status ComputeCall(const WindowCall& call, std::vector<Value>* out) const;
+
+  PhysicalOperatorPtr child_;
+  std::vector<WindowCall> calls_;
+  std::vector<Row> rows_;
+  std::vector<std::vector<Value>> extra_columns_;
+  size_t pos_ = 0;
+};
+
+class UnionAllOp : public PhysicalOperator {
+ public:
+  UnionAllOp(Schema schema, std::vector<PhysicalOperatorPtr> children)
+      : PhysicalOperator(std::move(schema)), children_(std::move(children)) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  std::vector<PhysicalOperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+class LimitOp : public PhysicalOperator {
+ public:
+  LimitOp(Schema schema, PhysicalOperatorPtr child, int64_t limit)
+      : PhysicalOperator(std::move(schema)),
+        child_(std::move(child)),
+        limit_(limit) {}
+  Status Open() override;
+  Status Next(Row* row, bool* eof) override;
+
+ private:
+  PhysicalOperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_OPERATORS_H_

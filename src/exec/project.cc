@@ -1,0 +1,29 @@
+#include "exec/operators.h"
+
+#include "expr/eval.h"
+
+namespace rfv {
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Status ProjectOp::Next(Row* row, bool* eof) {
+  Row input;
+  bool child_eof = false;
+  RFV_RETURN_IF_ERROR(child_->Next(&input, &child_eof));
+  if (child_eof) {
+    *eof = true;
+    return Status::OK();
+  }
+  std::vector<Value> values;
+  values.reserve(projections_.size());
+  for (const ExprPtr& projection : projections_) {
+    Value v;
+    RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*projection, input));
+    values.push_back(std::move(v));
+  }
+  *row = Row(std::move(values));
+  *eof = false;
+  return Status::OK();
+}
+
+}  // namespace rfv

@@ -1,0 +1,20 @@
+#include "exec/operators.h"
+
+namespace rfv {
+
+Status TableScanOp::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Status TableScanOp::Next(Row* row, bool* eof) {
+  if (pos_ >= table_->NumRows()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *row = table_->row(pos_++);
+  *eof = false;
+  return Status::OK();
+}
+
+}  // namespace rfv

@@ -1,0 +1,128 @@
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/operators.h"
+#include "expr/eval.h"
+
+namespace rfv {
+
+namespace {
+
+/// Lexicographic key comparison.
+int CompareKeys(const std::vector<Value>& a, const std::vector<Value>& b) {
+  RFV_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status SortMergeJoinOp::Materialize(PhysicalOperator* input,
+                                    const std::vector<ExprPtr>& keys,
+                                    std::vector<Keyed>* out) {
+  out->clear();
+  RFV_RETURN_IF_ERROR(input->Open());
+  while (true) {
+    Row row;
+    bool eof = false;
+    RFV_RETURN_IF_ERROR(input->Next(&row, &eof));
+    if (eof) break;
+    Keyed keyed;
+    keyed.key.reserve(keys.size());
+    for (const ExprPtr& k : keys) {
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*k, row));
+      keyed.has_null_key = keyed.has_null_key || v.is_null();
+      keyed.key.push_back(std::move(v));
+    }
+    keyed.row = std::move(row);
+    out->push_back(std::move(keyed));
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return CompareKeys(a.key, b.key) < 0;
+                   });
+  return Status::OK();
+}
+
+Status SortMergeJoinOp::Open() {
+  li_ = 0;
+  rblock_start_ = 0;
+  rblock_end_ = 0;
+  rpos_ = 0;
+  block_valid_ = false;
+  left_matched_ = false;
+  right_width_ = right_->schema().NumColumns();
+  RFV_RETURN_IF_ERROR(Materialize(left_.get(), left_keys_, &left_rows_));
+  RFV_RETURN_IF_ERROR(Materialize(right_.get(), right_keys_, &right_rows_));
+  return Status::OK();
+}
+
+Status SortMergeJoinOp::Next(Row* row, bool* eof) {
+  while (li_ < left_rows_.size()) {
+    const Keyed& left = left_rows_[li_];
+    if (!block_valid_) {
+      left_matched_ = false;
+      if (!left.has_null_key) {
+        // Advance the block to the first right row with key >= left key;
+        // left rows arrive in sorted order, so the block start is
+        // monotone and each right row is passed at most once per block
+        // boundary movement.
+        if (rblock_start_ < rblock_end_ &&
+            CompareKeys(right_rows_[rblock_start_].key, left.key) == 0) {
+          // Previous block still matches (duplicate left keys): reuse.
+        } else {
+          while (rblock_start_ < right_rows_.size() &&
+                 (right_rows_[rblock_start_].has_null_key ||
+                  CompareKeys(right_rows_[rblock_start_].key, left.key) <
+                      0)) {
+            ++rblock_start_;
+          }
+          rblock_end_ = rblock_start_;
+          while (rblock_end_ < right_rows_.size() &&
+                 CompareKeys(right_rows_[rblock_end_].key, left.key) == 0) {
+            ++rblock_end_;
+          }
+        }
+        rpos_ = rblock_start_;
+      } else {
+        rpos_ = rblock_end_ = rblock_start_;  // NULL keys never match
+      }
+      block_valid_ = true;
+    }
+    while (rpos_ < rblock_end_) {
+      const Keyed& right = right_rows_[rpos_++];
+      Row joined = Row::Concat(left.row, right.row);
+      bool match = true;
+      if (residual_ != nullptr) {
+        RFV_ASSIGN_OR_RETURN(match,
+                             Evaluator::EvalPredicate(*residual_, joined));
+      }
+      if (match) {
+        left_matched_ = true;
+        *row = std::move(joined);
+        *eof = false;
+        return Status::OK();
+      }
+    }
+    // Left row exhausted its block.
+    if (join_type_ == JoinType::kLeftOuter && !left_matched_) {
+      Row joined = left.row;
+      for (size_t i = 0; i < right_width_; ++i) joined.Append(Value::Null());
+      ++li_;
+      block_valid_ = false;
+      *row = std::move(joined);
+      *eof = false;
+      return Status::OK();
+    }
+    ++li_;
+    block_valid_ = false;
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+}  // namespace rfv

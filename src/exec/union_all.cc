@@ -1,0 +1,27 @@
+#include "exec/operators.h"
+
+namespace rfv {
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (auto& child : children_) {
+    RFV_RETURN_IF_ERROR(child->Open());
+  }
+  return Status::OK();
+}
+
+Status UnionAllOp::Next(Row* row, bool* eof) {
+  while (current_ < children_.size()) {
+    bool child_eof = false;
+    RFV_RETURN_IF_ERROR(children_[current_]->Next(row, &child_eof));
+    if (!child_eof) {
+      *eof = false;
+      return Status::OK();
+    }
+    ++current_;
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+}  // namespace rfv

@@ -1,0 +1,204 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/window_frame.h"
+#include "expr/eval.h"
+
+namespace rfv {
+
+Status WindowOp::Open() {
+  rows_.clear();
+  extra_columns_.clear();
+  pos_ = 0;
+  RFV_RETURN_IF_ERROR(child_->Open());
+  while (true) {
+    Row row;
+    bool eof = false;
+    RFV_RETURN_IF_ERROR(child_->Next(&row, &eof));
+    if (eof) break;
+    rows_.push_back(std::move(row));
+  }
+  extra_columns_.reserve(calls_.size());
+  for (const WindowCall& call : calls_) {
+    std::vector<Value> column;
+    RFV_RETURN_IF_ERROR(ComputeCall(call, &column));
+    extra_columns_.push_back(std::move(column));
+  }
+  return Status::OK();
+}
+
+Status WindowOp::ComputeCall(const WindowCall& call,
+                             std::vector<Value>* out) const {
+  const size_t n = rows_.size();
+  out->assign(n, Value::Null());
+  if (n == 0) return Status::OK();
+
+  // Evaluate the argument and the partition/order keys once per row.
+  std::vector<Value> args(n);
+  if (call.kind == WindowFnKind::kAggregate && !call.is_count_star) {
+    for (size_t i = 0; i < n; ++i) {
+      RFV_ASSIGN_OR_RETURN(args[i], Evaluator::Eval(*call.arg, rows_[i]));
+    }
+  }
+  const size_t np = call.partition_by.size();
+  const size_t no = call.order_by.size();
+  std::vector<std::vector<Value>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i].reserve(np + no);
+    for (const ExprPtr& p : call.partition_by) {
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*p, rows_[i]));
+      keys[i].push_back(std::move(v));
+    }
+    for (const SortKey& o : call.order_by) {
+      Value v;
+      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*o.expr, rows_[i]));
+      keys[i].push_back(std::move(v));
+    }
+  }
+
+  // Sort row indices by (partition keys, order keys).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < np + no; ++k) {
+      const int c = keys[a][k].Compare(keys[b][k]);
+      if (c != 0) {
+        const bool ascending = k < np || call.order_by[k - np].ascending;
+        return ascending ? c < 0 : c > 0;
+      }
+    }
+    return false;
+  });
+
+  const auto same_partition = [&](size_t a, size_t b) {
+    for (size_t k = 0; k < np; ++k) {
+      if (keys[a][k].Compare(keys[b][k]) != 0) return false;
+    }
+    return true;
+  };
+
+  SlidingAggregate aggregate(call.fn, call.is_count_star, call.output_type);
+
+  size_t part_start = 0;
+  while (part_start < n) {
+    size_t part_end = part_start + 1;
+    while (part_end < n &&
+           same_partition(order[part_start], order[part_end])) {
+      ++part_end;
+    }
+
+    if (call.kind != WindowFnKind::kAggregate) {
+      // Ranking functions: positional within the sorted partition.
+      // RANK assigns tied order keys the same (gapped) rank.
+      int64_t rank = 1;
+      for (size_t i = part_start; i < part_end; ++i) {
+        const int64_t row_number = static_cast<int64_t>(i - part_start) + 1;
+        if (call.kind == WindowFnKind::kRank) {
+          bool tied = i > part_start;
+          for (size_t k = np; tied && k < np + no; ++k) {
+            tied = keys[order[i]][k].Compare(keys[order[i - 1]][k]) == 0;
+          }
+          if (!tied) rank = row_number;
+          (*out)[order[i]] = Value::Int(rank);
+        } else {
+          (*out)[order[i]] = Value::Int(row_number);
+        }
+      }
+      part_start = part_end;
+      continue;
+    }
+
+    if (call.frame.range_mode) {
+      // RANGE frames: the window covers rows whose (single, ascending,
+      // numeric) order key lies within a value distance of the current
+      // key. Both value bounds are non-decreasing, so the same
+      // two-pointer sweep applies with key comparisons.
+      const auto key_at = [&](size_t sorted_index) -> const Value& {
+        return keys[order[sorted_index]][np];
+      };
+      aggregate.Reset();
+      size_t next_push = part_start;
+      size_t next_pop = part_start;
+      for (size_t i = part_start; i < part_end; ++i) {
+        if (key_at(i).is_null()) {
+          return Status::ExecutionError(
+              "RANGE frame over NULL ORDER BY keys is not supported");
+        }
+        const double key = key_at(i).ToDouble();
+        const double lo_bound = key + static_cast<double>(call.frame.lo);
+        const double hi_bound = key + static_cast<double>(call.frame.hi);
+        while (next_push < part_end &&
+               (call.frame.hi_unbounded ||
+                (!key_at(next_push).is_null() &&
+                 key_at(next_push).ToDouble() <= hi_bound))) {
+          const size_t row_index = order[next_push];
+          aggregate.Push(
+              call.is_count_star ? Value::Int(1) : args[row_index],
+              next_push);
+          ++next_push;
+        }
+        if (!call.frame.lo_unbounded) {
+          while (next_pop < part_end && next_pop < next_push &&
+                 key_at(next_pop).ToDouble() < lo_bound) {
+            ++next_pop;
+          }
+          aggregate.PopBefore(next_pop);
+        }
+        (*out)[order[i]] = aggregate.Current();
+      }
+      part_start = part_end;
+      continue;
+    }
+
+    // Two-pointer sweep: both frame endpoints are monotone in the row
+    // index, so each partition row is pushed and popped exactly once
+    // (the paper's pipelined O(1)-per-row scheme).
+    aggregate.Reset();
+    size_t next_push = part_start;
+    const int64_t s = static_cast<int64_t>(part_start);
+    const int64_t e = static_cast<int64_t>(part_end);
+    for (size_t i = part_start; i < part_end; ++i) {
+      const int64_t ii = static_cast<int64_t>(i);
+      const int64_t target_lo =
+          call.frame.lo_unbounded ? s : std::max(s, ii + call.frame.lo);
+      const int64_t target_hi =
+          call.frame.hi_unbounded ? e - 1 : std::min(e - 1, ii + call.frame.hi);
+      while (static_cast<int64_t>(next_push) <= target_hi) {
+        const size_t row_index = order[next_push];
+        aggregate.Push(call.is_count_star ? Value::Int(1) : args[row_index],
+                       next_push);
+        ++next_push;
+      }
+      aggregate.PopBefore(static_cast<size_t>(std::max<int64_t>(target_lo, 0)));
+      if (target_hi < target_lo) {
+        // Empty frame: COUNT = 0, others NULL.
+        (*out)[order[i]] = call.fn == AggFn::kCount ? Value::Int(0)
+                                                    : Value::Null();
+      } else {
+        (*out)[order[i]] = aggregate.Current();
+      }
+    }
+    part_start = part_end;
+  }
+  return Status::OK();
+}
+
+Status WindowOp::Next(Row* row, bool* eof) {
+  if (pos_ >= rows_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  Row out = std::move(rows_[pos_]);
+  for (const std::vector<Value>& column : extra_columns_) {
+    out.Append(column[pos_]);
+  }
+  *row = std::move(out);
+  ++pos_;
+  *eof = false;
+  return Status::OK();
+}
+
+}  // namespace rfv

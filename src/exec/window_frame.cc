@@ -1,0 +1,88 @@
+#include "exec/window_frame.h"
+
+#include "common/logging.h"
+
+namespace rfv {
+
+SlidingAggregate::SlidingAggregate(AggFn fn, bool is_count_star,
+                                   DataType out_type)
+    : fn_(fn), is_count_star_(is_count_star), out_type_(out_type) {}
+
+void SlidingAggregate::Reset() {
+  rows_ = 0;
+  non_null_ = 0;
+  sum_int_ = 0;
+  sum_double_ = 0;
+  entries_.clear();
+}
+
+void SlidingAggregate::Push(const Value& value, size_t pos) {
+  ++rows_;
+  if (fn_ == AggFn::kMin || fn_ == AggFn::kMax) {
+    if (value.is_null()) return;
+    // Monotonic deque: drop dominated entries from the back, keep the
+    // front as the current extreme.
+    while (!entries_.empty()) {
+      const int c = entries_.back().value.Compare(value);
+      const bool dominated = fn_ == AggFn::kMin ? c >= 0 : c <= 0;
+      if (!dominated) break;
+      entries_.pop_back();
+    }
+    entries_.push_back(Entry{pos, value});
+    return;
+  }
+  if (!value.is_null()) {
+    ++non_null_;
+    if (out_type_ == DataType::kInt64 && fn_ == AggFn::kSum) {
+      sum_int_ += value.AsInt();
+    } else if (fn_ == AggFn::kSum || fn_ == AggFn::kAvg) {
+      sum_double_ += value.ToDouble();
+    }
+  }
+  // COUNT needs no stored values, but removal accounting does.
+  entries_.push_back(Entry{pos, value});
+}
+
+void SlidingAggregate::PopBefore(size_t pos) {
+  if (fn_ == AggFn::kMin || fn_ == AggFn::kMax) {
+    while (!entries_.empty() && entries_.front().pos < pos) {
+      entries_.pop_front();
+    }
+    // rows_ is not tracked per-position for MIN/MAX (not needed).
+    return;
+  }
+  while (!entries_.empty() && entries_.front().pos < pos) {
+    const Entry& e = entries_.front();
+    --rows_;
+    if (!e.value.is_null()) {
+      --non_null_;
+      if (out_type_ == DataType::kInt64 && fn_ == AggFn::kSum) {
+        sum_int_ -= e.value.AsInt();
+      } else if (fn_ == AggFn::kSum || fn_ == AggFn::kAvg) {
+        sum_double_ -= e.value.ToDouble();
+      }
+    }
+    entries_.pop_front();
+  }
+}
+
+Value SlidingAggregate::Current() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value::Int(is_count_star_ ? rows_ : non_null_);
+    case AggFn::kSum:
+      if (non_null_ == 0) return Value::Null();
+      return out_type_ == DataType::kInt64 ? Value::Int(sum_int_)
+                                           : Value::Double(sum_double_);
+    case AggFn::kAvg:
+      if (non_null_ == 0) return Value::Null();
+      return Value::Double(sum_double_ / static_cast<double>(non_null_));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      if (entries_.empty()) return Value::Null();
+      return entries_.front().value;
+  }
+  return Value::Null();
+}
+
+}  // namespace rfv

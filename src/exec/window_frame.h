@@ -1,0 +1,66 @@
+#ifndef RFVIEW_EXEC_WINDOW_FRAME_H_
+#define RFVIEW_EXEC_WINDOW_FRAME_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/value.h"
+#include "plan/logical_plan.h"
+
+namespace rfv {
+
+/// Incremental aggregate over a sliding index window.
+///
+/// The window is advanced with Push (new highest position) and PopBefore
+/// (raise the lowest position); both endpoints must be non-decreasing
+/// over a partition, which holds for every ROWS frame. This realizes the
+/// paper's pipelined computation scheme (§2.2): per output row the
+/// engine does O(1) amortized work instead of re-scanning the w-row
+/// window, with a cache of at most w+2 entries — compare the recursion
+///   x̃_k = x̃_{k-1} + x_{k+h} − x_{k-l-1}.
+///
+/// SUM/COUNT/AVG maintain running sums; MIN/MAX maintain a monotonic
+/// deque (their semi-algebraic nature — no subtraction — is exactly why
+/// the paper handles them separately in the derivation algorithms).
+class SlidingAggregate {
+ public:
+  /// `out_type` is the call's result type (drives int vs. double SUM).
+  SlidingAggregate(AggFn fn, bool is_count_star, DataType out_type);
+
+  /// Clears the window (new partition).
+  void Reset();
+
+  /// Window gains `value` at `pos`; `pos` must exceed all previous ones.
+  void Push(const Value& value, size_t pos);
+
+  /// Window drops every position < `pos`.
+  void PopBefore(size_t pos);
+
+  /// Aggregate of the current window (NULL for empty SUM/AVG/MIN/MAX,
+  /// 0 for empty COUNT).
+  Value Current() const;
+
+ private:
+  struct Entry {
+    size_t pos;
+    Value value;  ///< NULL entries participate in COUNT(*) only
+  };
+
+  AggFn fn_;
+  bool is_count_star_;
+  DataType out_type_;
+
+  // SUM/COUNT/AVG state.
+  int64_t rows_ = 0;       ///< rows in window (COUNT(*))
+  int64_t non_null_ = 0;   ///< non-NULL arguments in window
+  int64_t sum_int_ = 0;
+  double sum_double_ = 0;
+
+  /// Window contents for removal accounting (SUM/COUNT/AVG) or the
+  /// monotonic deque (MIN/MAX; entries kept in extreme-first order).
+  std::deque<Entry> entries_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_WINDOW_FRAME_H_

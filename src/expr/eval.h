@@ -1,0 +1,29 @@
+#ifndef RFVIEW_EXPR_EVAL_H_
+#define RFVIEW_EXPR_EVAL_H_
+
+#include "common/row.h"
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace rfv {
+
+/// Expression interpreter with SQL three-valued logic:
+///  * NULL propagates through arithmetic, comparisons and functions
+///    (except COALESCE / IS NULL, which exist to consume NULLs),
+///  * AND/OR follow Kleene logic,
+///  * predicates in WHERE/ON/HAVING treat a NULL result as "not satisfied"
+///    (see EvalPredicate).
+/// Runtime failures (division by zero, MOD by zero) surface as
+/// kExecutionError.
+class Evaluator {
+ public:
+  /// Evaluates `expr` against `row` (bound column indexes refer to `row`).
+  static Result<Value> Eval(const Expr& expr, const Row& row);
+
+  /// Evaluates a boolean expression, mapping NULL → false.
+  static Result<bool> EvalPredicate(const Expr& expr, const Row& row);
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXPR_EVAL_H_

@@ -1,0 +1,121 @@
+#include "expr/expr.h"
+
+#include <sstream>
+
+namespace rfv {
+
+const char* ScalarFnName(ScalarFn fn) {
+  switch (fn) {
+    case ScalarFn::kMod: return "MOD";
+    case ScalarFn::kCoalesce: return "COALESCE";
+    case ScalarFn::kAbs: return "ABS";
+    case ScalarFn::kYear: return "YEAR";
+    case ScalarFn::kMonth: return "MONTH";
+    case ScalarFn::kDay: return "DAY";
+    case ScalarFn::kMin2: return "LEAST";
+    case ScalarFn::kMax2: return "GREATEST";
+  }
+  return "?";
+}
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->type = type;
+  copy->literal = literal;
+  copy->column_index = column_index;
+  copy->column_name = column_name;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  copy->function = function;
+  copy->is_null_negated = is_null_negated;
+  copy->has_else = has_else;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) {
+    copy->children.push_back(child->Clone());
+  }
+  return copy;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      os << literal.ToString();
+      break;
+    case ExprKind::kColumnRef:
+      if (!column_name.empty()) {
+        os << column_name;
+      } else {
+        os << "$" << column_index;
+      }
+      break;
+    case ExprKind::kUnary:
+      os << (unary_op == UnaryOp::kNot ? "NOT " : "-")
+         << children[0]->ToString();
+      break;
+    case ExprKind::kBinary:
+      os << "(" << children[0]->ToString() << " "
+         << BinaryOpSymbol(binary_op) << " " << children[1]->ToString()
+         << ")";
+      break;
+    case ExprKind::kCase: {
+      os << "CASE";
+      const size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        os << " WHEN " << children[2 * i]->ToString() << " THEN "
+           << children[2 * i + 1]->ToString();
+      }
+      if (has_else) os << " ELSE " << children.back()->ToString();
+      os << " END";
+      break;
+    }
+    case ExprKind::kFunction: {
+      os << ScalarFnName(function) << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kIn: {
+      os << children[0]->ToString() << " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kBetween:
+      os << children[0]->ToString() << " BETWEEN "
+         << children[1]->ToString() << " AND " << children[2]->ToString();
+      break;
+    case ExprKind::kIsNull:
+      os << children[0]->ToString() << " IS "
+         << (is_null_negated ? "NOT " : "") << "NULL";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace rfv

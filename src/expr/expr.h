@@ -1,0 +1,103 @@
+#ifndef RFVIEW_EXPR_EXPR_H_
+#define RFVIEW_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace rfv {
+
+/// Node kinds of the *bound* expression tree. Bound expressions are what
+/// the executor evaluates: column references are resolved to positions in
+/// the operator's input row, and every node carries a result type. The
+/// parser produces a separate, unbound AST (parser/ast.h); the binder
+/// (plan/binder.*) lowers that AST into this one.
+enum class ExprKind {
+  kLiteral,    ///< constant Value
+  kColumnRef,  ///< input row position
+  kUnary,      ///< NOT, unary minus
+  kBinary,     ///< arithmetic / comparison / AND / OR
+  kCase,       ///< CASE WHEN c1 THEN v1 ... [ELSE e] END
+  kFunction,   ///< scalar function call (MOD, COALESCE, ABS, ...)
+  kIn,         ///< expr IN (e1, ..., en)
+  kBetween,    ///< expr BETWEEN lo AND hi
+  kIsNull,     ///< expr IS [NOT] NULL
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Scalar functions implemented by the evaluator. MOD and COALESCE are the
+/// two the paper's operator patterns (Figures 10 and 13) depend on; the
+/// date helpers support the credit-card introduction workload where dates
+/// are stored as YYYYMMDD integers.
+enum class ScalarFn {
+  kMod,       ///< MOD(a, b), integer remainder
+  kCoalesce,  ///< first non-NULL argument
+  kAbs,
+  kYear,      ///< YEAR(yyyymmdd)  = v / 10000
+  kMonth,     ///< MONTH(yyyymmdd) = (v / 100) % 100
+  kDay,       ///< DAY(yyyymmdd)   = v % 100
+  kMin2,      ///< LEAST(a, b)   — scalar two-argument min
+  kMax2,      ///< GREATEST(a, b) — scalar two-argument max
+};
+
+const char* ScalarFnName(ScalarFn fn);
+const char* BinaryOpSymbol(BinaryOp op);
+
+/// A bound expression node. One struct covers all kinds (tagged union
+/// style); factory functions in expr/builder.h construct well-formed
+/// nodes and the type checker validates/annotates whole trees.
+struct Expr {
+  ExprKind kind;
+  /// Result type. Filled by the binder / type checker; kNull for an
+  /// untyped NULL literal.
+  DataType type = DataType::kNull;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  size_t column_index = 0;
+  std::string column_name;  ///< display only
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // kFunction
+  ScalarFn function = ScalarFn::kMod;
+
+  // kIsNull
+  bool is_null_negated = false;  ///< true for IS NOT NULL
+
+  /// Children. Layout by kind:
+  ///  kUnary:    [operand]
+  ///  kBinary:   [lhs, rhs]
+  ///  kCase:     [when1, then1, when2, then2, ..., else?]  (has_else set)
+  ///  kFunction: arguments
+  ///  kIn:       [needle, candidate1, ..., candidateN]
+  ///  kBetween:  [subject, lo, hi]
+  ///  kIsNull:   [operand]
+  std::vector<std::unique_ptr<Expr>> children;
+  bool has_else = false;  ///< kCase only
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// SQL-ish rendering for debugging and plan explain output.
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXPR_EXPR_H_

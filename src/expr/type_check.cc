@@ -1,0 +1,206 @@
+#include "expr/type_check.h"
+
+#include <string>
+
+namespace rfv {
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+/// Two types are comparable if both numeric, identical, or either side is
+/// the NULL type (untyped NULL literal).
+bool Comparable(DataType a, DataType b) {
+  if (a == DataType::kNull || b == DataType::kNull) return true;
+  if (IsNumeric(a) && IsNumeric(b)) return true;
+  return a == b;
+}
+
+/// Unifies branch types (CASE/COALESCE). Returns kNull only when all
+/// branches are NULL literals.
+Result<DataType> Unify(DataType a, DataType b, const Expr& context) {
+  if (a == DataType::kNull) return b;
+  if (b == DataType::kNull) return a;
+  if (a == b) return a;
+  if (IsNumeric(a) && IsNumeric(b)) return DataType::kDouble;
+  return Status::TypeError("incompatible branch types in " +
+                           context.ToString());
+}
+
+Status TypeErrorAt(const Expr& expr, const std::string& what) {
+  return Status::TypeError(what + " in " + expr.ToString());
+}
+
+}  // namespace
+
+Status CheckTypes(Expr* expr, const Schema& input) {
+  for (auto& child : expr->children) {
+    RFV_RETURN_IF_ERROR(CheckTypes(child.get(), input));
+  }
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      expr->type = expr->literal.type();
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      if (expr->column_index >= input.NumColumns()) {
+        return Status::Internal("column index out of range: " +
+                                expr->ToString());
+      }
+      expr->type = input.column(expr->column_index).type;
+      return Status::OK();
+    case ExprKind::kUnary: {
+      const DataType t = expr->children[0]->type;
+      if (expr->unary_op == UnaryOp::kNot) {
+        if (t != DataType::kBool && t != DataType::kNull) {
+          return TypeErrorAt(*expr, "NOT requires a boolean");
+        }
+        expr->type = DataType::kBool;
+      } else {
+        if (!IsNumeric(t) && t != DataType::kNull) {
+          return TypeErrorAt(*expr, "unary minus requires a numeric");
+        }
+        expr->type = t == DataType::kNull ? DataType::kInt64 : t;
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      const DataType l = expr->children[0]->type;
+      const DataType r = expr->children[1]->type;
+      switch (expr->binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv: {
+          if ((!IsNumeric(l) && l != DataType::kNull) ||
+              (!IsNumeric(r) && r != DataType::kNull)) {
+            return TypeErrorAt(*expr, "arithmetic requires numerics");
+          }
+          expr->type = (l == DataType::kDouble || r == DataType::kDouble)
+                           ? DataType::kDouble
+                           : DataType::kInt64;
+          return Status::OK();
+        }
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          if ((l != DataType::kBool && l != DataType::kNull) ||
+              (r != DataType::kBool && r != DataType::kNull)) {
+            return TypeErrorAt(*expr, "AND/OR require booleans");
+          }
+          expr->type = DataType::kBool;
+          return Status::OK();
+        }
+        default: {
+          if (!Comparable(l, r)) {
+            return TypeErrorAt(*expr, "incomparable operand types");
+          }
+          expr->type = DataType::kBool;
+          return Status::OK();
+        }
+      }
+    }
+    case ExprKind::kCase: {
+      const size_t pairs =
+          (expr->children.size() - (expr->has_else ? 1 : 0)) / 2;
+      DataType result = DataType::kNull;
+      for (size_t i = 0; i < pairs; ++i) {
+        const DataType cond = expr->children[2 * i]->type;
+        if (cond != DataType::kBool && cond != DataType::kNull) {
+          return TypeErrorAt(*expr, "CASE WHEN condition must be boolean");
+        }
+        RFV_ASSIGN_OR_RETURN(
+            result, Unify(result, expr->children[2 * i + 1]->type, *expr));
+      }
+      if (expr->has_else) {
+        RFV_ASSIGN_OR_RETURN(result,
+                             Unify(result, expr->children.back()->type, *expr));
+      }
+      expr->type = result;
+      return Status::OK();
+    }
+    case ExprKind::kFunction: {
+      const auto arity_error = [&](size_t want) {
+        return Status::TypeError(std::string(ScalarFnName(expr->function)) +
+                                 " expects " + std::to_string(want) +
+                                 " arguments");
+      };
+      switch (expr->function) {
+        case ScalarFn::kMod:
+          if (expr->children.size() != 2) return arity_error(2);
+          for (const auto& c : expr->children) {
+            if (c->type != DataType::kInt64 && c->type != DataType::kNull) {
+              return TypeErrorAt(*expr, "MOD requires integers");
+            }
+          }
+          expr->type = DataType::kInt64;
+          return Status::OK();
+        case ScalarFn::kCoalesce: {
+          if (expr->children.empty()) return arity_error(1);
+          DataType result = DataType::kNull;
+          for (const auto& c : expr->children) {
+            RFV_ASSIGN_OR_RETURN(result, Unify(result, c->type, *expr));
+          }
+          expr->type = result;
+          return Status::OK();
+        }
+        case ScalarFn::kAbs:
+          if (expr->children.size() != 1) return arity_error(1);
+          if (!IsNumeric(expr->children[0]->type) &&
+              expr->children[0]->type != DataType::kNull) {
+            return TypeErrorAt(*expr, "ABS requires a numeric");
+          }
+          expr->type = expr->children[0]->type == DataType::kDouble
+                           ? DataType::kDouble
+                           : DataType::kInt64;
+          return Status::OK();
+        case ScalarFn::kYear:
+        case ScalarFn::kMonth:
+        case ScalarFn::kDay:
+          if (expr->children.size() != 1) return arity_error(1);
+          if (expr->children[0]->type != DataType::kInt64 &&
+              expr->children[0]->type != DataType::kNull) {
+            return TypeErrorAt(*expr, "date part requires a YYYYMMDD integer");
+          }
+          expr->type = DataType::kInt64;
+          return Status::OK();
+        case ScalarFn::kMin2:
+        case ScalarFn::kMax2: {
+          if (expr->children.size() != 2) return arity_error(2);
+          DataType result = DataType::kNull;
+          for (const auto& c : expr->children) {
+            RFV_ASSIGN_OR_RETURN(result, Unify(result, c->type, *expr));
+          }
+          expr->type = result;
+          return Status::OK();
+        }
+      }
+      return Status::Internal("unreachable function in type check");
+    }
+    case ExprKind::kIn: {
+      const DataType needle = expr->children[0]->type;
+      for (size_t i = 1; i < expr->children.size(); ++i) {
+        if (!Comparable(needle, expr->children[i]->type)) {
+          return TypeErrorAt(*expr, "IN list type mismatch");
+        }
+      }
+      expr->type = DataType::kBool;
+      return Status::OK();
+    }
+    case ExprKind::kBetween: {
+      const DataType subject = expr->children[0]->type;
+      if (!Comparable(subject, expr->children[1]->type) ||
+          !Comparable(subject, expr->children[2]->type)) {
+        return TypeErrorAt(*expr, "BETWEEN bound type mismatch");
+      }
+      expr->type = DataType::kBool;
+      return Status::OK();
+    }
+    case ExprKind::kIsNull:
+      expr->type = DataType::kBool;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable expression kind in type check");
+}
+
+}  // namespace rfv

@@ -1,0 +1,27 @@
+#ifndef RFVIEW_EXPR_TYPE_CHECK_H_
+#define RFVIEW_EXPR_TYPE_CHECK_H_
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace rfv {
+
+/// Validates a bound expression tree against an input schema and fills in
+/// every node's result `type`. Rules:
+///  * column refs take their schema type (and must be in range),
+///  * arithmetic requires numeric operands; int ⊕ int → int,
+///    anything ⊕ double → double,
+///  * comparisons/BETWEEN/IN require compatible operand types
+///    (numeric×numeric, string×string, bool×bool) and yield bool,
+///  * AND/OR/NOT require bool and yield bool,
+///  * CASE branches must share a compatible type (numeric branches unify
+///    to double when mixed); result is that type,
+///  * COALESCE arguments unify like CASE branches,
+///  * NULL literals are compatible with every type.
+/// Errors: kTypeError with the offending subexpression's rendering.
+Status CheckTypes(Expr* expr, const Schema& input);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXPR_TYPE_CHECK_H_

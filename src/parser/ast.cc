@@ -1,0 +1,198 @@
+#include "parser/ast.h"
+
+#include <sstream>
+
+namespace rfv {
+
+namespace {
+
+const char* AstBinaryOpSymbol(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kAdd: return "+";
+    case AstBinaryOp::kSub: return "-";
+    case AstBinaryOp::kMul: return "*";
+    case AstBinaryOp::kDiv: return "/";
+    case AstBinaryOp::kMod: return "%";
+    case AstBinaryOp::kEq: return "=";
+    case AstBinaryOp::kNe: return "<>";
+    case AstBinaryOp::kLt: return "<";
+    case AstBinaryOp::kLe: return "<=";
+    case AstBinaryOp::kGt: return ">";
+    case AstBinaryOp::kGe: return ">=";
+    case AstBinaryOp::kAnd: return "AND";
+    case AstBinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::string FrameBoundToString(const FrameBound& b) {
+  switch (b.kind) {
+    case FrameBound::Kind::kUnboundedPreceding: return "UNBOUNDED PRECEDING";
+    case FrameBound::Kind::kPreceding:
+      return std::to_string(b.offset) + " PRECEDING";
+    case FrameBound::Kind::kCurrentRow: return "CURRENT ROW";
+    case FrameBound::Kind::kFollowing:
+      return std::to_string(b.offset) + " FOLLOWING";
+    case FrameBound::Kind::kUnboundedFollowing: return "UNBOUNDED FOLLOWING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AstExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case AstExprKind::kLiteral:
+      os << literal.ToString();
+      break;
+    case AstExprKind::kColumn:
+      if (!qualifier.empty()) os << qualifier << ".";
+      os << name;
+      break;
+    case AstExprKind::kStar:
+      os << "*";
+      break;
+    case AstExprKind::kUnary:
+      os << (unary_op == AstUnaryOp::kNot ? "NOT " : "-")
+         << children[0]->ToString();
+      break;
+    case AstExprKind::kBinary:
+      os << "(" << children[0]->ToString() << " "
+         << AstBinaryOpSymbol(binary_op) << " " << children[1]->ToString()
+         << ")";
+      break;
+    case AstExprKind::kCase: {
+      os << "CASE";
+      const size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        os << " WHEN " << children[2 * i]->ToString() << " THEN "
+           << children[2 * i + 1]->ToString();
+      }
+      if (has_else) os << " ELSE " << children.back()->ToString();
+      os << " END";
+      break;
+    }
+    case AstExprKind::kFunctionCall: {
+      os << function_name << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      if (over != nullptr) {
+        os << " OVER (";
+        bool space = false;
+        if (!over->partition_by.empty()) {
+          os << "PARTITION BY ";
+          for (size_t i = 0; i < over->partition_by.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << over->partition_by[i]->ToString();
+          }
+          space = true;
+        }
+        if (!over->order_by.empty()) {
+          if (space) os << " ";
+          os << "ORDER BY ";
+          for (size_t i = 0; i < over->order_by.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << over->order_by[i].expr->ToString()
+               << (over->order_by[i].ascending ? "" : " DESC");
+          }
+          space = true;
+        }
+        if (over->has_frame) {
+          if (space) os << " ";
+          os << "ROWS BETWEEN " << FrameBoundToString(over->frame_lo)
+             << " AND " << FrameBoundToString(over->frame_hi);
+        }
+        os << ")";
+      }
+      break;
+    }
+    case AstExprKind::kIn: {
+      os << children[0]->ToString() << (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case AstExprKind::kBetween:
+      os << children[0]->ToString() << (negated ? " NOT" : "") << " BETWEEN "
+         << children[1]->ToString() << " AND " << children[2]->ToString();
+      break;
+    case AstExprKind::kIsNull:
+      os << children[0]->ToString() << " IS " << (negated ? "NOT " : "")
+         << "NULL";
+      break;
+  }
+  return os.str();
+}
+
+std::string TableRef::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kTable:
+      os << table_name;
+      if (!alias.empty()) os << " " << alias;
+      break;
+    case Kind::kSubquery:
+      os << "(" << subquery->ToString() << ")";
+      if (!alias.empty()) os << " " << alias;
+      break;
+    case Kind::kJoin: {
+      os << left->ToString();
+      switch (join_kind) {
+        case JoinKind::kInner: os << " JOIN "; break;
+        case JoinKind::kLeftOuter: os << " LEFT OUTER JOIN "; break;
+        case JoinKind::kCross: os << ", "; break;
+      }
+      os << right->ToString();
+      if (on != nullptr) os << " ON " << on->ToString();
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string SelectStmt::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) os << ", ";
+    const SelectItem& item = select_list[i];
+    if (item.is_star) {
+      if (!item.star_qualifier.empty()) os << item.star_qualifier << ".";
+      os << "*";
+    } else {
+      os << item.expr->ToString();
+      if (!item.alias.empty()) os << " AS " << item.alias;
+    }
+  }
+  if (from != nullptr) os << " FROM " << from->ToString();
+  if (where != nullptr) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) os << " HAVING " << having->ToString();
+  if (union_all_next != nullptr) {
+    os << " UNION ALL " << union_all_next->ToString();
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].expr->ToString() << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace rfv

@@ -1,0 +1,243 @@
+#ifndef RFVIEW_PARSER_AST_H_
+#define RFVIEW_PARSER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace rfv {
+
+// ---------------------------------------------------------------------------
+// Unbound expression AST (parser output). Column references are by name;
+// the binder (plan/binder.*) resolves them against scopes and lowers to
+// the bound expression tree in expr/expr.h.
+// ---------------------------------------------------------------------------
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+enum class AstExprKind {
+  kLiteral,      ///< int/double/string/NULL constant
+  kColumn,       ///< [qualifier.]name
+  kUnary,        ///< NOT e, -e
+  kBinary,       ///< e op e  (arithmetic, comparison, AND, OR)
+  kCase,         ///< searched CASE
+  kFunctionCall, ///< name(args) — scalar or aggregate, maybe with OVER()
+  kIn,           ///< e [NOT] IN (list)
+  kBetween,      ///< e [NOT] BETWEEN lo AND hi
+  kIsNull,       ///< e IS [NOT] NULL
+  kStar,         ///< * inside COUNT(*)
+};
+
+enum class AstUnaryOp { kNeg, kNot };
+
+enum class AstBinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// One endpoint of a ROWS frame.
+struct FrameBound {
+  enum class Kind {
+    kUnboundedPreceding,
+    kPreceding,        ///< `offset` rows preceding
+    kCurrentRow,
+    kFollowing,        ///< `offset` rows following
+    kUnboundedFollowing,
+  };
+  Kind kind = Kind::kCurrentRow;
+  int64_t offset = 0;
+};
+
+struct OrderItemAst;
+
+/// The OVER(...) clause of a reporting function: optional partition
+/// clause, optional order clause, optional window aggregation group
+/// (paper Fig. 1). Absent frame with ORDER BY defaults to
+/// RANGE-equivalent "UNBOUNDED PRECEDING .. CURRENT ROW" which this
+/// engine treats as ROWS (positions are unique in all paper workloads).
+struct WindowSpecAst {
+  std::vector<AstExprPtr> partition_by;
+  std::vector<OrderItemAst> order_by;
+  bool has_frame = false;
+  bool range_mode = false;  ///< RANGE (value distances) instead of ROWS
+  FrameBound frame_lo;
+  FrameBound frame_hi;
+};
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumn
+  std::string qualifier;
+  std::string name;
+
+  // kUnary / kBinary
+  AstUnaryOp unary_op = AstUnaryOp::kNeg;
+  AstBinaryOp binary_op = AstBinaryOp::kAdd;
+
+  // kFunctionCall
+  std::string function_name;          ///< uppercased by the parser
+  std::unique_ptr<WindowSpecAst> over;  ///< non-null ⇒ reporting function
+
+  // kIn / kBetween / kIsNull
+  bool negated = false;
+
+  // kCase
+  bool has_else = false;
+
+  /// Children; layout matches expr/expr.h (kCase: when/then pairs then
+  /// optional else; kIn: needle then candidates; kBetween: subject, lo,
+  /// hi; kFunctionCall: arguments).
+  std::vector<AstExprPtr> children;
+
+  /// SQL-ish rendering (used in error messages and tests).
+  std::string ToString() const;
+};
+
+/// ORDER BY item.
+struct OrderItemAst {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+// ---------------------------------------------------------------------------
+// Table references and query structure
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+
+/// FROM-clause item: base table, derived table (subquery), or join.
+struct TableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+  enum class JoinKind { kInner, kLeftOuter, kCross };
+
+  Kind kind = Kind::kTable;
+
+  // kTable
+  std::string table_name;
+  // kTable / kSubquery
+  std::string alias;
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  AstExprPtr on;  ///< null for CROSS (comma) joins
+
+  std::string ToString() const;
+};
+
+/// One SELECT-list item: expression with optional alias, or `*` /
+/// `alias.*`.
+struct SelectItem {
+  bool is_star = false;
+  std::string star_qualifier;  ///< "s1" in s1.*; empty for bare *
+  AstExprPtr expr;
+  std::string alias;
+};
+
+/// A SELECT statement. UNION ALL chains hang off `union_all_next`
+/// (left-deep); ORDER BY / LIMIT of the *head* statement apply to the
+/// whole chain, matching the common SQL interpretation.
+struct SelectStmt {
+  bool distinct = false;  ///< SELECT DISTINCT
+  std::vector<SelectItem> select_list;
+  std::unique_ptr<TableRef> from;  ///< null for FROM-less SELECT
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderItemAst> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+  std::unique_ptr<SelectStmt> union_all_next;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// DDL / DML statements
+// ---------------------------------------------------------------------------
+
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool primary_key = false;  ///< creates an ordered index on the column
+};
+
+struct CreateTableStmt {
+  std::string table_name;
+  std::vector<ColumnSpec> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table_name;
+  std::string column_name;
+};
+
+struct InsertStmt {
+  std::string table_name;
+  std::vector<std::string> columns;          ///< empty = positional
+  std::vector<std::vector<AstExprPtr>> rows; ///< constant expressions
+};
+
+struct UpdateStmt {
+  std::string table_name;
+  std::vector<std::pair<std::string, AstExprPtr>> assignments;
+  AstExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table_name;
+  AstExprPtr where;
+};
+
+/// CREATE [MATERIALIZED] VIEW name AS SELECT ... — materialized views are
+/// the paper's subject; plain views are rejected at execution time.
+struct CreateViewStmt {
+  std::string view_name;
+  bool materialized = false;
+  std::unique_ptr<SelectStmt> query;
+};
+
+struct DropTableStmt {
+  std::string table_name;
+};
+
+/// Top-level statement (tagged union of owned alternatives).
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateView,
+    kDropTable,
+    kExplain,  ///< EXPLAIN SELECT ... — `select` holds the query
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_PARSER_AST_H_

@@ -1,0 +1,181 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rfv {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  size_t line_start = 0;
+  const size_t n = sql.size();
+
+  const auto make_error = [&](const std::string& what) {
+    return Status::ParseError(what + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(i - line_start + 1));
+  };
+  const auto push = [&](TokenType type, size_t start, std::string text = "") {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.offset = start;
+    t.line = line;
+    t.column = start - line_start + 1;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      push(TokenType::kIdentifier, start, sql.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        // Only a fraction if followed by a digit; `1.` is also accepted.
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+        }
+      }
+      const std::string text = sql.substr(i, j - i);
+      Token t;
+      t.type = is_double ? TokenType::kDoubleLiteral : TokenType::kIntLiteral;
+      t.text = text;
+      t.offset = start;
+      t.line = line;
+      t.column = start - line_start + 1;
+      if (is_double) {
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            body.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        body.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) return make_error("unterminated string literal");
+      push(TokenType::kStringLiteral, start, std::move(body));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenType::kLParen, start); ++i; continue;
+      case ')': push(TokenType::kRParen, start); ++i; continue;
+      case ',': push(TokenType::kComma, start); ++i; continue;
+      case '.': push(TokenType::kDot, start); ++i; continue;
+      case ';': push(TokenType::kSemicolon, start); ++i; continue;
+      case '*': push(TokenType::kStar, start); ++i; continue;
+      case '+': push(TokenType::kPlus, start); ++i; continue;
+      case '-': push(TokenType::kMinus, start); ++i; continue;
+      case '/': push(TokenType::kSlash, start); ++i; continue;
+      case '%': push(TokenType::kPercent, start); ++i; continue;
+      case '=': push(TokenType::kEq, start); ++i; continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+          continue;
+        }
+        return make_error("unexpected character '!'");
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        continue;
+      default:
+        return make_error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  end.line = line;
+  end.column = n - line_start + 1;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace rfv

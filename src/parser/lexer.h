@@ -1,0 +1,21 @@
+#ifndef RFVIEW_PARSER_LEXER_H_
+#define RFVIEW_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace rfv {
+
+/// Tokenizes SQL text. Supports: identifiers (letters, digits, `_`,
+/// starting with a letter or `_`), integer and floating literals, string
+/// literals in single quotes with `''` escaping, `--` line comments, and
+/// the operator/punctuation set of token.h. Errors: kParseError with
+/// line/column info.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_PARSER_LEXER_H_

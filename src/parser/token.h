@@ -1,0 +1,48 @@
+#ifndef RFVIEW_PARSER_TOKEN_H_
+#define RFVIEW_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rfv {
+
+/// Lexical token categories. SQL keywords are lexed as kIdentifier and
+/// matched case-insensitively by the parser; this keeps the keyword set
+/// open-ended (identifiers may equal non-reserved keywords).
+enum class TokenType {
+  kEnd,
+  kIdentifier,     ///< bare or keyword
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  ///< 'text' with '' escaping
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        ///< =
+  kNe,        ///< <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        ///< raw text (identifier/keyword/string body)
+  int64_t int_value = 0;   ///< kIntLiteral
+  double double_value = 0; ///< kDoubleLiteral
+  size_t offset = 0;       ///< byte offset in the SQL text, for errors
+  size_t line = 1;
+  size_t column = 1;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_PARSER_TOKEN_H_

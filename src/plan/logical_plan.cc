@@ -1,0 +1,234 @@
+#include "plan/logical_plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rfv {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "SUM";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+std::string WindowFrame::ToString() const {
+  std::ostringstream os;
+  os << (range_mode ? "RANGE BETWEEN " : "ROWS BETWEEN ");
+  if (lo_unbounded) {
+    os << "UNBOUNDED PRECEDING";
+  } else if (lo <= 0) {
+    os << -lo << " PRECEDING";
+  } else {
+    os << lo << " FOLLOWING";
+  }
+  os << " AND ";
+  if (hi_unbounded) {
+    os << "UNBOUNDED FOLLOWING";
+  } else if (hi >= 0) {
+    os << hi << " FOLLOWING";
+  } else {
+    os << -hi << " PRECEDING";
+  }
+  return os.str();
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      os << "Scan(" << (table != nullptr ? table->name() : "?");
+      if (!alias.empty()) os << " AS " << alias;
+      os << ")";
+      break;
+    case PlanKind::kFilter:
+      os << "Filter(" << predicate->ToString() << ")";
+      break;
+    case PlanKind::kProject: {
+      os << "Project(";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << projections[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kJoin:
+      os << (join_type == JoinType::kInner
+                 ? "InnerJoin"
+                 : join_type == JoinType::kLeftOuter ? "LeftOuterJoin"
+                                                     : "CrossJoin");
+      if (join_condition != nullptr) {
+        os << "(" << join_condition->ToString() << ")";
+      }
+      break;
+    case PlanKind::kAggregate: {
+      os << "Aggregate(groups=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << group_by[i]->ToString();
+      }
+      os << "], aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << AggFnName(aggregates[i].fn) << "("
+           << (aggregates[i].is_count_star ? "*"
+                                           : aggregates[i].arg->ToString())
+           << ")";
+      }
+      os << "])";
+      break;
+    }
+    case PlanKind::kWindow: {
+      os << "Window(";
+      for (size_t i = 0; i < window_calls.size(); ++i) {
+        if (i > 0) os << ", ";
+        const WindowCall& c = window_calls[i];
+        if (c.kind == WindowFnKind::kRowNumber) {
+          os << "ROW_NUMBER() OVER";
+        } else if (c.kind == WindowFnKind::kRank) {
+          os << "RANK() OVER";
+        } else {
+          os << AggFnName(c.fn) << "("
+             << (c.is_count_star ? "*" : c.arg->ToString()) << ") OVER "
+             << c.frame.ToString();
+        }
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kSort: {
+      os << "Sort(";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << sort_keys[i].expr->ToString()
+           << (sort_keys[i].ascending ? "" : " DESC");
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kUnionAll:
+      os << "UnionAll";
+      break;
+    case PlanKind::kLimit:
+      os << "Limit(" << limit << ")";
+      break;
+  }
+  os << "  [" << schema.ToString() << "]";
+  for (const auto& child : children) {
+    os << "\n" << child->ToString(indent + 1);
+  }
+  return os.str();
+}
+
+LogicalPlanPtr MakeScan(Table* table, const std::string& alias) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kScan;
+  plan->table = table;
+  plan->alias = alias;
+  plan->schema = alias.empty() ? table->schema().WithQualifier(table->name())
+                               : table->schema().WithQualifier(alias);
+  return plan;
+}
+
+LogicalPlanPtr MakeFilter(LogicalPlanPtr input, ExprPtr predicate) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kFilter;
+  plan->schema = input->schema;
+  plan->predicate = std::move(predicate);
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeProject(LogicalPlanPtr input,
+                           std::vector<ExprPtr> projections,
+                           std::vector<std::string> names) {
+  RFV_CHECK(projections.size() == names.size());
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kProject;
+  for (size_t i = 0; i < projections.size(); ++i) {
+    plan->schema.AddColumn(ColumnDef(names[i], projections[i]->type));
+  }
+  plan->projections = std::move(projections);
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeJoin(JoinType type, LogicalPlanPtr left,
+                        LogicalPlanPtr right, ExprPtr condition) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kJoin;
+  plan->join_type = type;
+  plan->schema = Schema::Concat(left->schema, right->schema);
+  plan->join_condition = std::move(condition);
+  plan->children.push_back(std::move(left));
+  plan->children.push_back(std::move(right));
+  return plan;
+}
+
+LogicalPlanPtr MakeAggregate(LogicalPlanPtr input,
+                             std::vector<ExprPtr> group_by,
+                             std::vector<std::string> group_names,
+                             std::vector<AggregateCall> aggregates) {
+  RFV_CHECK(group_by.size() == group_names.size());
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kAggregate;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    plan->schema.AddColumn(ColumnDef(group_names[i], group_by[i]->type));
+  }
+  for (const AggregateCall& call : aggregates) {
+    plan->schema.AddColumn(ColumnDef(call.output_name, call.output_type));
+  }
+  plan->group_by = std::move(group_by);
+  plan->aggregates = std::move(aggregates);
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeWindow(LogicalPlanPtr input, std::vector<WindowCall> calls) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kWindow;
+  plan->schema = input->schema;
+  for (const WindowCall& call : calls) {
+    plan->schema.AddColumn(ColumnDef(call.output_name, call.output_type));
+  }
+  plan->window_calls = std::move(calls);
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeSort(LogicalPlanPtr input, std::vector<SortKey> keys) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kSort;
+  plan->schema = input->schema;
+  plan->sort_keys = std::move(keys);
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeUnionAll(std::vector<LogicalPlanPtr> inputs) {
+  RFV_CHECK(!inputs.empty());
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kUnionAll;
+  plan->schema = inputs[0]->schema;
+  for (auto& input : inputs) plan->children.push_back(std::move(input));
+  return plan;
+}
+
+LogicalPlanPtr MakeLimit(LogicalPlanPtr input, int64_t limit) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kLimit;
+  plan->schema = input->schema;
+  plan->limit = limit;
+  plan->children.push_back(std::move(input));
+  return plan;
+}
+
+}  // namespace rfv

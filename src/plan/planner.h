@@ -1,0 +1,53 @@
+#ifndef RFVIEW_PLAN_PLANNER_H_
+#define RFVIEW_PLAN_PLANNER_H_
+
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace rfv {
+
+// --- expression analysis utilities (shared with exec/join.cc) --------------
+
+/// Splits a predicate into its top-level AND conjuncts (ownership moves
+/// into `out`).
+void SplitConjuncts(ExprPtr predicate, std::vector<ExprPtr>* out);
+
+/// AND-combines conjuncts; returns null for an empty list.
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// True when every column reference in `expr` lies in [lo, hi).
+bool RefsOnlyRange(const Expr& expr, size_t lo, size_t hi);
+
+/// Shifts every column reference by `delta` (used when pushing a
+/// predicate over a join's right side down into the right child).
+void ShiftColumnRefs(Expr* expr, int64_t delta);
+
+/// Constant folding: replaces pure subexpressions whose operands are all
+/// literals with their value (e.g. `s1.pos - 1 - 4` → `s1.pos - 5` after
+/// reassociation is NOT attempted, but `MOD(7, 3)`, `1 + 2`, `NOT TRUE`
+/// fold). Subexpressions whose evaluation would fail at runtime
+/// (division by zero) are left in place so the error surfaces during
+/// execution, preserving semantics.
+void FoldConstants(Expr* expr);
+
+// --- optimizer --------------------------------------------------------------
+
+/// Rule-based optimization pass:
+///  * merges stacked filters,
+///  * pushes filter conjuncts below joins (left-only conjuncts into the
+///    left child, right-only into the right child — inner/cross joins
+///    only; for LEFT OUTER only the left side is safe),
+///  * folds remaining mixed conjuncts into inner/cross join conditions,
+///    turning a `FROM a, b WHERE a.x = b.y` cross join into an inner
+///    join the executor can run as an index nested-loop or hash join.
+///
+/// The pass is what gives the paper's relational operator patterns their
+/// "with index" execution paths: the self-join predicates of Figures 2,
+/// 4, 10 and 13 arrive as WHERE conjuncts above a comma join and must be
+/// attached to the join to become probe conditions.
+LogicalPlanPtr OptimizePlan(LogicalPlanPtr plan);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_PLAN_PLANNER_H_

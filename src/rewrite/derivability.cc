@@ -1,0 +1,152 @@
+#include "rewrite/derivability.h"
+
+#include "common/str_util.h"
+
+namespace rfv {
+
+const char* DerivationMethodName(DerivationMethod method) {
+  switch (method) {
+    case DerivationMethod::kDirect: return "direct";
+    case DerivationMethod::kCumulativeDiff: return "cumulative-diff";
+    case DerivationMethod::kMaxoa: return "MaxOA";
+    case DerivationMethod::kMinoa: return "MinOA";
+    case DerivationMethod::kMinMaxCover: return "min-max-cover";
+    case DerivationMethod::kCountTrivial: return "count-trivial";
+  }
+  return "?";
+}
+
+Result<DerivationChoice> CheckDerivability(const SequenceViewDef& view,
+                                           const SeqQuery& query) {
+  DerivationChoice choice;
+  choice.view = &view;
+
+  // The view must aggregate the same measure in the same order. AVG
+  // queries require a SUM view (AVG = SUM / COUNT, with COUNT computable
+  // from positions alone).
+  const SeqAggFn needed_fn = query.is_avg ? SeqAggFn::kSum : query.fn;
+  if (view.fn != needed_fn) {
+    return Status::NotDerivable("aggregation function mismatch");
+  }
+  if (!query.partition_columns.empty()) {
+    // Partitioned query: direct hit on an identically partitioned view
+    // only (per-partition derivations are served by the in-memory API).
+    if (view.partition_columns.size() != query.partition_columns.size()) {
+      return Status::NotDerivable("partitioning scheme mismatch");
+    }
+    for (size_t i = 0; i < view.partition_columns.size(); ++i) {
+      if (!EqualsIgnoreCase(view.partition_columns[i],
+                            query.partition_columns[i])) {
+        return Status::NotDerivable("partitioning scheme mismatch");
+      }
+    }
+    if (query.is_avg) {
+      return Status::NotDerivable(
+          "AVG over partitions needs per-partition cardinalities");
+    }
+    if (view.window != query.window) {
+      return Status::NotDerivable(
+          "partitioned rewriting supports identical windows only");
+    }
+    choice.method = DerivationMethod::kDirect;
+    return choice;
+  }
+  if (!view.partition_columns.empty()) {
+    return Status::NotDerivable(
+        "partitioned views require partitioning reduction (in-memory API)");
+  }
+
+  // Identical window: direct hit.
+  if (view.window == query.window) {
+    choice.method = DerivationMethod::kDirect;
+    return choice;
+  }
+
+  // Cumulative view: dominates every sliding window for SUM.
+  if (view.window.is_cumulative()) {
+    if (view.fn != SeqAggFn::kSum) {
+      return Status::NotDerivable(
+          "running MIN/MAX views cannot be narrowed (not invertible)");
+    }
+    if (!query.window.is_sliding()) {
+      return Status::NotDerivable("window mismatch");
+    }
+    choice.method = DerivationMethod::kCumulativeDiff;
+    return choice;
+  }
+
+  // Sliding view.
+  if (!query.window.is_sliding()) {
+    // Cumulative query from a sliding SUM view is the positive MinOA
+    // chain.
+    if (view.fn == SeqAggFn::kSum && query.window.is_cumulative()) {
+      choice.method = DerivationMethod::kMinoa;
+      Result<MinoaParams> params = PlanMinoa(
+          view.window, WindowSpec::SlidingUnchecked(0, 0));
+      // PlanMinoa never fails for sliding windows; the cumulative target
+      // is encoded as h_y = 0 with an unbounded l_y handled by the
+      // executor-side chain (see pattern_sql/MinoaCumulative).
+      if (!params.ok()) return params.status();
+      choice.minoa = *params;
+      return choice;
+    }
+    return Status::NotDerivable("window mismatch");
+  }
+
+  if (view.fn == SeqAggFn::kMin || view.fn == SeqAggFn::kMax) {
+    const int64_t delta_l = query.window.l() - view.window.l();
+    const int64_t delta_h = query.window.h() - view.window.h();
+    // Same conditions as DeriveMaxoaMinMax: containment plus
+    // Δl <= h_x and Δh <= l_x (clipped-window coverage, gap-free).
+    if (delta_l < 0 || delta_h < 0 || delta_l > view.window.h() ||
+        delta_h > view.window.l()) {
+      return Status::NotDerivable(
+          "MIN/MAX cover conditions violated (gap or shrink)");
+    }
+    choice.method = DerivationMethod::kMinMaxCover;
+    return choice;
+  }
+
+  // SUM sliding-from-sliding: prefer MaxOA when its preconditions hold,
+  // otherwise MinOA (always applicable).
+  Result<MaxoaParams> maxoa = PlanMaxoa(view.window, query.window);
+  if (maxoa.ok()) {
+    choice.method = DerivationMethod::kMaxoa;
+    choice.maxoa = *maxoa;
+    return choice;
+  }
+  Result<MinoaParams> minoa = PlanMinoa(view.window, query.window);
+  if (minoa.ok()) {
+    choice.method = DerivationMethod::kMinoa;
+    choice.minoa = *minoa;
+    return choice;
+  }
+  return minoa.status();
+}
+
+Result<DerivationChoice> ChooseDerivation(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query) {
+  Result<DerivationChoice> best =
+      Status::NotDerivable("no candidate view matches the query");
+  int best_rank = -1;
+  for (const SequenceViewDef* view : views) {
+    Result<DerivationChoice> choice = CheckDerivability(*view, query);
+    if (!choice.ok()) continue;
+    int rank = 0;
+    switch (choice->method) {
+      case DerivationMethod::kDirect: rank = 4; break;
+      case DerivationMethod::kCumulativeDiff: rank = 3; break;
+      case DerivationMethod::kMinMaxCover: rank = 3; break;
+      case DerivationMethod::kCountTrivial: rank = 5; break;
+      case DerivationMethod::kMaxoa: rank = 2; break;
+      case DerivationMethod::kMinoa: rank = 1; break;
+    }
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = std::move(choice);
+    }
+  }
+  return best;
+}
+
+}  // namespace rfv

@@ -1,0 +1,72 @@
+#ifndef RFVIEW_REWRITE_DERIVABILITY_H_
+#define RFVIEW_REWRITE_DERIVABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/maxoa.h"
+#include "sequence/minoa.h"
+#include "view/view_def.h"
+
+namespace rfv {
+
+/// A recognized simple reporting-function query:
+///   SELECT <order col>, agg(<value col>) OVER (ORDER BY <order col>
+///     ROWS <frame>) FROM <base table>
+/// — the shape the rewriter can answer from materialized sequence views.
+struct SeqQuery {
+  std::string base_table;
+  std::string order_column;
+  std::string value_column;
+  /// PARTITION BY columns; non-empty queries are answered from
+  /// partitioned views with the identical partitioning scheme (direct
+  /// hits only — per-partition derivation lives in the in-memory API,
+  /// sequence/reporting.h).
+  std::vector<std::string> partition_columns;
+  SeqAggFn fn = SeqAggFn::kSum;
+  bool is_avg = false;  ///< AVG query: answered from a SUM view plus the
+                        ///< position-computable window COUNT (paper §2.1:
+                        ///< "AVG may be directly derived from SUM and
+                        ///< COUNT")
+  bool is_count = false;  ///< COUNT(*) / COUNT(<order column>): computable
+                          ///< from positions alone, no view content needed
+  WindowSpec window = WindowSpec::Cumulative();
+};
+
+/// How a query can be computed from a given view.
+enum class DerivationMethod {
+  kDirect,          ///< identical window: read the view body
+  kCumulativeDiff,  ///< sliding from cumulative (paper §3.1, Fig. 5)
+  kMaxoa,           ///< paper §4, relational pattern Fig. 10
+  kMinoa,           ///< paper §5, relational pattern Fig. 13
+  kMinMaxCover,     ///< MIN/MAX two-window cover (paper §4.2)
+  kCountTrivial,    ///< COUNT from positions alone (paper §2.1: "COUNT is
+                    ///< trivial (either constant or the current position)")
+};
+
+const char* DerivationMethodName(DerivationMethod method);
+
+struct DerivationChoice {
+  const SequenceViewDef* view = nullptr;
+  DerivationMethod method = DerivationMethod::kDirect;
+  MaxoaParams maxoa;  ///< filled for kMaxoa
+  MinoaParams minoa;  ///< filled for kMinoa
+};
+
+/// Decides whether `query` is derivable from `view` and with which
+/// method. Preference order for SUM: direct > cumulative-diff > MaxOA >
+/// MinOA — mirroring the paper's cost discussion (§7: neither MaxOA nor
+/// MinOA dominates; we default to MaxOA for its broader aggregate
+/// support and let callers force either). Errors: kNotDerivable.
+Result<DerivationChoice> CheckDerivability(const SequenceViewDef& view,
+                                           const SeqQuery& query);
+
+/// Picks the first derivable view in preference order; kNotDerivable
+/// when none qualifies.
+Result<DerivationChoice> ChooseDerivation(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_REWRITE_DERIVABILITY_H_

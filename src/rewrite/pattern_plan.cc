@@ -1,0 +1,86 @@
+#include "rewrite/pattern_plan.h"
+
+#include "expr/builder.h"
+
+namespace rfv {
+
+Result<LogicalPlanPtr> BuildNativeWindowPlan(Table* table,
+                                             const std::string& pos_column,
+                                             const std::string& val_column,
+                                             const WindowSpec& window,
+                                             AggFn fn) {
+  LogicalPlanPtr scan = MakeScan(table, table->name());
+  size_t pos_col = 0;
+  size_t val_col = 0;
+  {
+    Result<size_t> r = scan->schema.FindColumn("", pos_column);
+    if (!r.ok()) return r.status();
+    pos_col = *r;
+    r = scan->schema.FindColumn("", val_column);
+    if (!r.ok()) return r.status();
+    val_col = *r;
+  }
+  const DataType pos_type = scan->schema.column(pos_col).type;
+  const DataType val_type = scan->schema.column(val_col).type;
+
+  WindowCall call;
+  call.fn = fn;
+  call.arg = eb::Col(val_col, val_type, val_column);
+  SortKey key;
+  key.expr = eb::Col(pos_col, pos_type, pos_column);
+  key.ascending = true;
+  call.order_by.push_back(std::move(key));
+  call.frame = window.is_cumulative()
+                   ? WindowFrame::Cumulative()
+                   : WindowFrame::Sliding(window.l(), window.h());
+  call.output_name = "val";
+  switch (fn) {
+    case AggFn::kCount:
+      call.output_type = DataType::kInt64;
+      break;
+    case AggFn::kAvg:
+      call.output_type = DataType::kDouble;
+      break;
+    default:
+      call.output_type = val_type;
+      break;
+  }
+  const size_t out_col = scan->schema.NumColumns();
+  const DataType out_type = call.output_type;
+
+  std::vector<WindowCall> calls;
+  calls.push_back(std::move(call));
+  LogicalPlanPtr window_plan = MakeWindow(std::move(scan), std::move(calls));
+
+  std::vector<ExprPtr> projections;
+  projections.push_back(eb::Col(pos_col, pos_type, pos_column));
+  projections.push_back(eb::Col(out_col, out_type, "val"));
+  return MakeProject(std::move(window_plan), std::move(projections),
+                     {"pos", "val"});
+}
+
+Result<LogicalPlanPtr> BuildViewReadPlan(Table* view_table, int64_t n) {
+  LogicalPlanPtr scan = MakeScan(view_table, view_table->name());
+  size_t pos_col = 0;
+  size_t val_col = 0;
+  {
+    Result<size_t> r = scan->schema.FindColumn("", "pos");
+    if (!r.ok()) return r.status();
+    pos_col = *r;
+    r = scan->schema.FindColumn("", "val");
+    if (!r.ok()) return r.status();
+    val_col = *r;
+  }
+  const DataType pos_type = scan->schema.column(pos_col).type;
+  const DataType val_type = scan->schema.column(val_col).type;
+  ExprPtr predicate = eb::Between(eb::Col(pos_col, pos_type, "pos"),
+                                  eb::Int(1), eb::Int(n));
+  LogicalPlanPtr filtered = MakeFilter(std::move(scan), std::move(predicate));
+  std::vector<ExprPtr> projections;
+  projections.push_back(eb::Col(pos_col, pos_type, "pos"));
+  projections.push_back(eb::Col(val_col, val_type, "val"));
+  return MakeProject(std::move(filtered), std::move(projections),
+                     {"pos", "val"});
+}
+
+}  // namespace rfv

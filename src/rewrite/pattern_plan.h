@@ -1,0 +1,31 @@
+#ifndef RFVIEW_REWRITE_PATTERN_PLAN_H_
+#define RFVIEW_REWRITE_PATTERN_PLAN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "sequence/window_spec.h"
+#include "storage/table.h"
+
+namespace rfv {
+
+/// Programmatic logical-plan builders mirroring the native-engine side
+/// of the paper's experiments. Benchmarks and tests use these to bypass
+/// SQL parsing when measuring pure operator cost.
+
+/// "Reporting functionality inside the engine": Scan → Window → Project
+/// producing (pos, val) ordered by the window's ORDER BY column — the
+/// fast path of paper Table 1.
+Result<LogicalPlanPtr> BuildNativeWindowPlan(Table* table,
+                                             const std::string& pos_column,
+                                             const std::string& val_column,
+                                             const WindowSpec& window,
+                                             AggFn fn);
+
+/// Direct view read: Scan → Filter(1 <= pos <= n) → Project(pos, val).
+Result<LogicalPlanPtr> BuildViewReadPlan(Table* view_table, int64_t n);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_REWRITE_PATTERN_PLAN_H_

@@ -1,0 +1,344 @@
+#include "rewrite/pattern_sql.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rfv {
+
+namespace {
+
+/// "expr", "expr + c" or "expr - c".
+std::string Shift(const std::string& expr, int64_t delta) {
+  if (delta == 0) return expr;
+  if (delta > 0) return expr + " + " + std::to_string(delta);
+  return expr + " - " + std::to_string(-delta);
+}
+
+std::string BodyRange(const std::string& pos_expr, int64_t n) {
+  return pos_expr + " BETWEEN 1 AND " + std::to_string(n);
+}
+
+}  // namespace
+
+std::string SelfJoinWindowSql(const std::string& table,
+                              const std::string& pos_column,
+                              const std::string& val_column,
+                              const WindowSpec& window,
+                              bool use_in_predicate) {
+  RFV_CHECK(window.is_sliding() || window.is_cumulative());
+  std::ostringstream os;
+  os << "SELECT s1." << pos_column << " AS pos, SUM(s2." << val_column
+     << ") AS val FROM " << table << " s1, " << table << " s2 WHERE ";
+  if (window.is_cumulative()) {
+    os << "s2." << pos_column << " <= s1." << pos_column;
+  } else if (use_in_predicate) {
+    // Paper Fig. 2: s1.pos IN (s2.pos-1, s2.pos, s2.pos+1) for (1,1).
+    // s2 lies in s1's window (l,h)  ⇔  s1.pos ∈ [s2.pos-h, s2.pos+l].
+    os << "s1." << pos_column << " IN (";
+    bool first = true;
+    for (int64_t d = -window.h(); d <= window.l(); ++d) {
+      if (!first) os << ", ";
+      os << Shift("s2." + pos_column, d);
+      first = false;
+    }
+    os << ")";
+  } else {
+    os << "s2." << pos_column << " BETWEEN "
+       << Shift("s1." + pos_column, -window.l()) << " AND "
+       << Shift("s1." + pos_column, window.h());
+  }
+  os << " GROUP BY s1." << pos_column;
+  return os.str();
+}
+
+std::string DirectViewSql(const std::string& view_table, int64_t n) {
+  return "SELECT s.pos AS pos, s.val AS val FROM " + view_table +
+         " s WHERE " + BodyRange("s.pos", n);
+}
+
+std::string PartitionedDirectSql(const std::string& view_table,
+                                 const std::string& base_table,
+                                 const std::vector<std::string>& partitions,
+                                 const std::string& order_column) {
+  RFV_CHECK(!partitions.empty());
+  std::ostringstream os;
+  os << "SELECT ";
+  for (const std::string& p : partitions) {
+    os << "v." << p << " AS " << p << ", ";
+  }
+  os << "v.pos AS pos, v.val AS val FROM " << view_table << " v JOIN "
+     << base_table << " b ON ";
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << "v." << partitions[i] << " = b." << partitions[i];
+  }
+  os << " AND v.pos = b." << order_column;
+  return os.str();
+}
+
+std::string RawFromCumulativeViewSql(const std::string& view_table,
+                                     int64_t n) {
+  std::ostringstream os;
+  os << "SELECT s1.pos AS pos, SUM(CASE WHEN s1.pos = s2.pos THEN s2.val "
+        "ELSE (-1) * s2.val END) AS val FROM "
+     << view_table << " s1, " << view_table << " s2 WHERE "
+     << BodyRange("s1.pos", n)
+     << " AND s2.pos IN (s1.pos - 1, s1.pos) GROUP BY s1.pos";
+  return os.str();
+}
+
+std::string SlidingFromCumulativeViewSql(const std::string& view_table,
+                                         const WindowSpec& target,
+                                         int64_t n) {
+  RFV_CHECK(target.is_sliding());
+  // ỹ_k = c_{min(k+h, n)} − c_{k−l−1}; the missing row at k−l−1 < 1
+  // contributes 0 (a cumulative sequence's header is identically zero).
+  const std::string upper =
+      target.h() == 0 ? "s1.pos"
+                      : "LEAST(s1.pos + " + std::to_string(target.h()) +
+                            ", " + std::to_string(n) + ")";
+  std::ostringstream os;
+  os << "SELECT s1.pos AS pos, SUM(CASE WHEN s2.pos = " << upper
+     << " THEN s2.val ELSE (-1) * s2.val END) AS val FROM " << view_table
+     << " s1, " << view_table << " s2 WHERE " << BodyRange("s1.pos", n)
+     << " AND s2.pos IN (" << upper << ", "
+     << Shift("s1.pos", -target.l() - 1) << ") GROUP BY s1.pos";
+  return os.str();
+}
+
+namespace {
+
+/// Branch predicates and sign classes of the MaxOA explicit form. The
+/// left-side chains step by P = Δl+Δp, the right-side chains by
+/// Q = Δh+Δq (paper §4.1/§4.2):
+///   positive: x̃_{k−iP} (i>=1)                — class k mod P, below k
+///   negative: x̃_{k−Δl−iP} (i>=1)             — class k−Δl mod P, below k−P
+///   positive: x̃_{k+iQ} (i>=1)                — class k mod Q, above k
+///   negative: x̃_{k+Δh+iQ} (i>=1)             — class k+Δh mod Q, above k+Q
+struct MaxoaBranches {
+  std::vector<std::string> positive;
+  std::vector<std::string> negative;
+  std::string positive_class;  ///< CASE condition marking positive rows
+};
+
+MaxoaBranches BuildMaxoaBranches(const MaxoaParams& params) {
+  MaxoaBranches branches;
+  std::vector<std::string> pos_class_terms;
+  if (params.delta_l > 0) {
+    const std::string p = std::to_string(params.delta_l + params.delta_p);
+    const std::string pos_cond = "((s1.pos > s2.pos) AND (MOD(s1.pos, " + p +
+                                 ") = MOD(s2.pos, " + p + ")))";
+    branches.positive.push_back(pos_cond);
+    pos_class_terms.push_back("((s2.pos < s1.pos) AND (MOD(s1.pos, " + p +
+                              ") = MOD(s2.pos, " + p + ")))");
+    branches.negative.push_back(
+        "((s1.pos - " + p + " > s2.pos) AND (MOD(" +
+        Shift("s1.pos", -params.delta_l) + ", " + p + ") = MOD(s2.pos, " + p +
+        ")))");
+  }
+  if (params.delta_h > 0) {
+    const std::string q = std::to_string(params.delta_h + params.delta_q);
+    branches.positive.push_back("((s2.pos > s1.pos) AND (MOD(s1.pos, " + q +
+                                ") = MOD(s2.pos, " + q + ")))");
+    pos_class_terms.push_back("((s2.pos > s1.pos) AND (MOD(s1.pos, " + q +
+                              ") = MOD(s2.pos, " + q + ")))");
+    branches.negative.push_back(
+        "((s2.pos > s1.pos + " + q + ") AND (MOD(" +
+        Shift("s1.pos", params.delta_h) + ", " + q + ") = MOD(s2.pos, " + q +
+        ")))");
+  }
+  std::string cls;
+  for (const std::string& t : pos_class_terms) {
+    cls = cls.empty() ? t : cls + " OR " + t;
+  }
+  branches.positive_class = cls;
+  return branches;
+}
+
+}  // namespace
+
+std::string MaxoaSql(const std::string& view_table, const MaxoaParams& params,
+                     int64_t n, bool union_variant) {
+  RFV_CHECK(params.delta_l > 0 || params.delta_h > 0);
+  const MaxoaBranches branches = BuildMaxoaBranches(params);
+
+  if (union_variant) {
+    // Base row plus one simple-predicate query per chain, re-grouped.
+    std::ostringstream os;
+    os << "SELECT u.pos AS pos, SUM(u.val) AS val FROM (";
+    os << "SELECT s.pos AS pos, s.val AS val FROM " << view_table
+       << " s WHERE " << BodyRange("s.pos", n);
+    for (const std::string& b : branches.positive) {
+      os << " UNION ALL SELECT s1.pos AS pos, s2.val AS val FROM "
+         << view_table << " s1, " << view_table << " s2 WHERE "
+         << BodyRange("s1.pos", n) << " AND " << b;
+    }
+    for (const std::string& b : branches.negative) {
+      os << " UNION ALL SELECT s1.pos AS pos, (-1) * s2.val AS val FROM "
+         << view_table << " s1, " << view_table << " s2 WHERE "
+         << BodyRange("s1.pos", n) << " AND " << b;
+    }
+    os << ") u GROUP BY u.pos";
+    return os.str();
+  }
+
+  // Disjunctive variant (paper Fig. 10): one self join whose predicate
+  // is the OR of all chain branches; CASE gives chain terms their sign;
+  // a left outer join preserves positions with no compensation terms.
+  std::string disjunction;
+  for (const std::string& b : branches.positive) {
+    disjunction = disjunction.empty() ? b : disjunction + " OR " + b;
+  }
+  for (const std::string& b : branches.negative) {
+    disjunction = disjunction.empty() ? b : disjunction + " OR " + b;
+  }
+  std::ostringstream os;
+  os << "SELECT s.pos AS pos, s.val + COALESCE(c.val, 0) AS val FROM "
+     << view_table << " s LEFT OUTER JOIN (SELECT s1.pos AS pos, "
+     << "SUM(CASE WHEN " << branches.positive_class
+     << " THEN s2.val ELSE (-1) * s2.val END) AS val FROM " << view_table
+     << " s1, " << view_table << " s2 WHERE " << BodyRange("s1.pos", n)
+     << " AND (" << disjunction << ") GROUP BY s1.pos) c ON s.pos = c.pos "
+     << "WHERE " << BodyRange("s.pos", n);
+  return os.str();
+}
+
+namespace {
+
+struct MinoaBranches {
+  std::string positive;
+  std::string negative;        ///< empty in the coincident-class case
+  std::string positive_class;  ///< CASE condition marking positive rows
+};
+
+MinoaBranches BuildMinoaBranches(const MinoaParams& params) {
+  MinoaBranches branches;
+  const std::string w = std::to_string(params.wx);
+  const std::string pos_head = Shift("s1.pos", params.delta_h);
+  const std::string neg_head = Shift("s1.pos", -params.delta_l);
+  const std::string pos_class =
+      "(MOD(" + pos_head + ", " + w + ") = MOD(s2.pos, " + w + "))";
+
+  if ((params.delta_l + params.delta_h) % params.wx == 0) {
+    // Coincident congruence classes: the chains cancel beyond
+    // m = (Δl+Δh)/w_x terms, leaving the bounded positive chain
+    // x̃_{k−Δl}, x̃_{k−Δl+w}, ..., x̃_{k+Δh} — all positive.
+    branches.positive = "(" + pos_class + " AND s2.pos BETWEEN " + neg_head +
+                        " AND " + pos_head + ")";
+    branches.positive_class = pos_class;
+    return branches;
+  }
+  branches.positive =
+      "((s2.pos <= " + pos_head + ") AND " + pos_class + ")";
+  branches.negative = "((s2.pos <= " + Shift(neg_head, -params.wx) +
+                      ") AND (MOD(" + neg_head + ", " + w +
+                      ") = MOD(s2.pos, " + w + ")))";
+  branches.positive_class = pos_class;
+  return branches;
+}
+
+}  // namespace
+
+std::string MinoaSql(const std::string& view_table, const MinoaParams& params,
+                     int64_t n, bool union_variant) {
+  const MinoaBranches branches = BuildMinoaBranches(params);
+
+  if (union_variant) {
+    std::ostringstream os;
+    os << "SELECT u.pos AS pos, SUM(u.val) AS val FROM (";
+    os << "SELECT s1.pos AS pos, s2.val AS val FROM " << view_table
+       << " s1, " << view_table << " s2 WHERE " << BodyRange("s1.pos", n)
+       << " AND " << branches.positive;
+    if (!branches.negative.empty()) {
+      os << " UNION ALL SELECT s1.pos AS pos, (-1) * s2.val AS val FROM "
+         << view_table << " s1, " << view_table << " s2 WHERE "
+         << BodyRange("s1.pos", n) << " AND " << branches.negative;
+    }
+    os << ") u GROUP BY u.pos";
+    return os.str();
+  }
+
+  // Disjunctive variant (paper Fig. 13): single self join, CASE signs.
+  std::string predicate = branches.positive;
+  if (!branches.negative.empty()) {
+    predicate = "(" + branches.positive + " OR " + branches.negative + ")";
+  }
+  std::ostringstream os;
+  os << "SELECT s1.pos AS pos, SUM(CASE WHEN " << branches.positive_class
+     << " THEN s2.val ELSE (-1) * s2.val END) AS val FROM " << view_table
+     << " s1, " << view_table << " s2 WHERE " << BodyRange("s1.pos", n)
+     << " AND " << predicate << " GROUP BY s1.pos";
+  return os.str();
+}
+
+std::string MinoaCumulativeSql(const std::string& view_table,
+                               const WindowSpec& view_window, int64_t n) {
+  RFV_CHECK(view_window.is_sliding());
+  const std::string w = std::to_string(view_window.size());
+  const std::string head = Shift("s1.pos", -view_window.h());
+  std::ostringstream os;
+  os << "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM " << view_table
+     << " s1, " << view_table << " s2 WHERE " << BodyRange("s1.pos", n)
+     << " AND (s2.pos <= " << head << ") AND (MOD(" << head << ", " << w
+     << ") = MOD(s2.pos, " << w << ")) GROUP BY s1.pos";
+  return os.str();
+}
+
+std::string RawFromSlidingViewSql(const std::string& view_table,
+                                  const WindowSpec& view_window, int64_t n) {
+  RFV_CHECK(view_window.is_sliding());
+  // MinOA with Δl = −l_x, Δh = −h_x. The two congruence classes never
+  // coincide (Δl + Δh = 1 − w_x ≢ 0 mod w_x for w_x >= 2).
+  MinoaParams params;
+  params.delta_l = -view_window.l();
+  params.delta_h = -view_window.h();
+  params.wx = view_window.size();
+  return MinoaSql(view_table, params, n, /*union_variant=*/false);
+}
+
+std::string MinMaxCoverSql(const std::string& view_table, bool is_min,
+                           int64_t delta_l, int64_t delta_h, int64_t n) {
+  // ỹ_k = LEAST/GREATEST(x̃_{k−Δl}, x̃_{k+Δh}); positions outside the
+  // stored range read as 0 via COALESCE, matching the paper's zero
+  // padding of raw values outside [1, n].
+  const std::string fn = is_min ? "LEAST" : "GREATEST";
+  std::ostringstream os;
+  os << "SELECT s.pos AS pos, " << fn << "(COALESCE(a.val, 0), "
+     << "COALESCE(b.val, 0)) AS val FROM " << view_table
+     << " s LEFT OUTER JOIN " << view_table << " a ON a.pos = "
+     << Shift("s.pos", -delta_l) << " LEFT OUTER JOIN " << view_table
+     << " b ON b.pos = " << Shift("s.pos", delta_h) << " WHERE "
+     << BodyRange("s.pos", n);
+  return os.str();
+}
+
+std::string CountWindowSql(const std::string& base_table,
+                           const std::string& order_column,
+                           const WindowSpec& window, int64_t n) {
+  if (window.is_cumulative()) {
+    // The running count *is* the current position.
+    return "SELECT " + order_column + " AS pos, " + order_column +
+           " AS val FROM " + base_table;
+  }
+  return "SELECT " + order_column + " AS pos, LEAST(" + order_column +
+         " + " + std::to_string(window.h()) + ", " + std::to_string(n) +
+         ") - GREATEST(" + order_column + " - " +
+         std::to_string(window.l()) + ", 1) + 1 AS val FROM " + base_table;
+}
+
+std::string WrapAvgSql(const std::string& sum_sql, const WindowSpec& window,
+                       int64_t n) {
+  std::string count_expr;
+  if (window.is_cumulative()) {
+    count_expr = "a.pos";
+  } else {
+    count_expr = "(LEAST(a.pos + " + std::to_string(window.h()) + ", " +
+                 std::to_string(n) + ") - GREATEST(a.pos - " +
+                 std::to_string(window.l()) + ", 1) + 1)";
+  }
+  return "SELECT a.pos AS pos, a.val / " + count_expr + " AS val FROM (" +
+         sum_sql + ") a";
+}
+
+}  // namespace rfv

@@ -1,0 +1,101 @@
+#ifndef RFVIEW_REWRITE_PATTERN_SQL_H_
+#define RFVIEW_REWRITE_PATTERN_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "sequence/maxoa.h"
+#include "sequence/minoa.h"
+#include "sequence/window_spec.h"
+
+namespace rfv {
+
+/// Generators for the paper's relational operator patterns as SQL text.
+/// Each returns a SELECT with output columns (pos, val) for positions
+/// 1..n and **no** trailing ORDER BY (the rewriter appends one). The
+/// patterns run on any engine without native reporting functionality —
+/// "applied in query rewrite directly after parsing" (paper §1) — and
+/// therefore use only joins, CASE, MOD, COALESCE and grouping.
+///
+/// Note on MOD: the generated congruence predicates assume MOD with the
+/// divisor's sign (mathematical modulo), which this engine implements;
+/// complete sequences contain positions <= 0 whose congruence class
+/// would break under C-style MOD.
+
+/// Paper Fig. 2 — compute a sliding window over raw data by self join.
+/// `use_in_predicate` reproduces the paper's `s1.pos IN (s2.pos-1, ...)`
+/// form (w candidate terms); otherwise a BETWEEN range predicate is
+/// emitted.
+std::string SelfJoinWindowSql(const std::string& table,
+                              const std::string& pos_column,
+                              const std::string& val_column,
+                              const WindowSpec& window,
+                              bool use_in_predicate);
+
+/// Read a view body verbatim (direct hit).
+std::string DirectViewSql(const std::string& view_table, int64_t n);
+
+/// Direct hit on a *partitioned* view: per-partition body lengths vary,
+/// so the body is selected by joining back to the base table on
+/// (partition columns, position) — header/trailer rows have no base
+/// counterpart and drop out.
+std::string PartitionedDirectSql(const std::string& view_table,
+                                 const std::string& base_table,
+                                 const std::vector<std::string>& partitions,
+                                 const std::string& order_column);
+
+/// Paper Fig. 4 — reconstruct raw values from a cumulative view:
+/// x_k = c_k − c_{k−1} via self join + CASE negation + grouping.
+std::string RawFromCumulativeViewSql(const std::string& view_table,
+                                     int64_t n);
+
+/// Paper Fig. 5 adaptation — sliding (l,h) from a cumulative view:
+/// ỹ_k = c_{min(k+h, n)} − c_{k−l−1}.
+std::string SlidingFromCumulativeViewSql(const std::string& view_table,
+                                         const WindowSpec& target, int64_t n);
+
+/// Paper Fig. 10 — MaxOA explicit form over a complete sliding view.
+/// `union_variant` selects the paper's "union of simple predicate
+/// queries" implementation; otherwise the single disjunctive join
+/// predicate with CASE-signed grouping and a final left outer join
+/// (COALESCE) preserving positions without compensation terms.
+std::string MaxoaSql(const std::string& view_table, const MaxoaParams& params,
+                     int64_t n, bool union_variant);
+
+/// Paper Fig. 13 — MinOA explicit form over a complete sliding view,
+/// disjunctive or union variant. Handles the coincident-class case
+/// (Δl+Δh ≡ 0 mod w_x) with the single-chain specialization.
+std::string MinoaSql(const std::string& view_table, const MinoaParams& params,
+                     int64_t n, bool union_variant);
+
+/// Cumulative query from a sliding view: the positive MinOA chain only.
+std::string MinoaCumulativeSql(const std::string& view_table,
+                               const WindowSpec& view_window, int64_t n);
+
+/// Paper §3.2 — reconstruct the raw data values x_1..x_n from a complete
+/// sliding view: the MinOA chain with (l_y, h_y) = (0, 0), i.e.
+/// x_k = Σ_{i>=0} ( x̃_{k−h−i·w} − x̃_{k−h−1−i·w} ).
+std::string RawFromSlidingViewSql(const std::string& view_table,
+                                  const WindowSpec& view_window, int64_t n);
+
+/// MIN/MAX two-window cover (paper §4.2): ỹ_k =
+/// LEAST/GREATEST(x̃_{k−Δl}, x̃_{k+Δh}) via two index-friendly self
+/// joins.
+std::string MinMaxCoverSql(const std::string& view_table, bool is_min,
+                           int64_t delta_l, int64_t delta_h, int64_t n);
+
+/// Wraps a (pos, val) SUM pattern into an AVG by dividing through the
+/// position-computable window COUNT (paper §2.1: AVG = SUM / COUNT).
+std::string WrapAvgSql(const std::string& sum_sql, const WindowSpec& window,
+                       int64_t n);
+
+/// COUNT window from positions alone (paper §2.1: "COUNT is trivial
+/// (either constant or the current position)") — no view content is
+/// read; the dense position column carries all the information.
+std::string CountWindowSql(const std::string& base_table,
+                           const std::string& order_column,
+                           const WindowSpec& window, int64_t n);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_REWRITE_PATTERN_SQL_H_

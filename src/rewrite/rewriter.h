@@ -1,0 +1,64 @@
+#ifndef RFVIEW_REWRITE_REWRITER_H_
+#define RFVIEW_REWRITE_REWRITER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "rewrite/derivability.h"
+#include "view/view_manager.h"
+
+namespace rfv {
+
+/// The two relational implementations of each derivation pattern that
+/// the paper benchmarks against each other in Table 2.
+enum class RewriteVariant {
+  kDisjunctive,  ///< single self join with a disjunctive predicate
+  kUnion,        ///< UNION ALL of simple-predicate queries
+};
+
+struct RewriteOptions {
+  RewriteVariant variant = RewriteVariant::kDisjunctive;
+  /// Force a specific derivation method (MaxOA vs. MinOA comparison);
+  /// unset = automatic preference order.
+  std::optional<DerivationMethod> force_method;
+};
+
+struct RewriteResult {
+  std::string sql;  ///< rewritten query over the view's content table
+  DerivationChoice choice;
+};
+
+/// The view-rewriting front end (paper §1: "the given operator patterns
+/// may be applied in query rewrite directly after parsing the query
+/// exhibiting a reporting function"). Recognizes simple
+/// reporting-function queries, matches them against the registered
+/// materialized sequence views, and emits the Fig. 4/5/10/13 SQL
+/// pattern that answers the query from the view.
+class Rewriter {
+ public:
+  Rewriter(Catalog* catalog, ViewManager* views)
+      : catalog_(catalog), views_(views) {}
+
+  /// Attempts the rewrite. Returns nullopt (not an error) when the
+  /// statement is not a recognizable simple window query or no
+  /// registered view can answer it.
+  Result<std::optional<RewriteResult>> TryRewrite(
+      const SelectStmt& stmt, const RewriteOptions& options = {}) const;
+
+  /// Parses `SELECT <pos>, agg(<val>) OVER (ORDER BY <pos> ROWS ...)
+  /// FROM <base> [ORDER BY <pos>]` into a SeqQuery. nullopt when the
+  /// statement has any other shape. `wants_order` reports whether the
+  /// statement had a final ORDER BY (the rewrite re-appends it).
+  static std::optional<SeqQuery> RecognizeSimpleWindowQuery(
+      const SelectStmt& stmt, bool* wants_order);
+
+ private:
+  Catalog* catalog_;
+  ViewManager* views_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_REWRITE_REWRITER_H_

@@ -1,0 +1,169 @@
+#include "sequence/compute.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rfv {
+
+namespace {
+
+/// Raw value accessor with the paper's convention x_i = 0 outside [1, n].
+inline SeqValue RawAt(const std::vector<SeqValue>& x, int64_t i) {
+  if (i < 1 || i > static_cast<int64_t>(x.size())) return 0;
+  return x[static_cast<size_t>(i - 1)];
+}
+
+}  // namespace
+
+std::vector<SeqValue> ComputeSlidingNaive(const std::vector<SeqValue>& x,
+                                          const WindowSpec& spec) {
+  RFV_CHECK(spec.is_sliding());
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<SeqValue> out(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    SeqValue sum = 0;
+    for (int64_t i = k - spec.l(); i <= k + spec.h(); ++i) {
+      sum += RawAt(x, i);
+    }
+    out[static_cast<size_t>(k - 1)] = sum;
+  }
+  return out;
+}
+
+std::vector<SeqValue> ComputeSlidingPipelined(const std::vector<SeqValue>& x,
+                                              const WindowSpec& spec) {
+  RFV_CHECK(spec.is_sliding());
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<SeqValue> out(static_cast<size_t>(n), 0);
+  if (n == 0) return out;
+  // Seed x̃_1 explicitly, then apply x̃_k = x̃_{k-1} + x_{k+h} - x_{k-l-1}.
+  SeqValue running = 0;
+  for (int64_t i = 1 - spec.l(); i <= 1 + spec.h(); ++i) {
+    running += RawAt(x, i);
+  }
+  out[0] = running;
+  for (int64_t k = 2; k <= n; ++k) {
+    running += RawAt(x, k + spec.h()) - RawAt(x, k - spec.l() - 1);
+    out[static_cast<size_t>(k - 1)] = running;
+  }
+  return out;
+}
+
+std::vector<SeqValue> ComputeCumulative(const std::vector<SeqValue>& x) {
+  std::vector<SeqValue> out(x.size(), 0);
+  SeqValue running = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    running += x[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+std::vector<SeqValue> ComputeSlidingMinMax(const std::vector<SeqValue>& x,
+                                           const WindowSpec& spec,
+                                           bool is_min) {
+  RFV_CHECK(spec.is_sliding());
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<SeqValue> out(static_cast<size_t>(n), 0);
+  // Monotonic deque of (position, value); front is the window extreme.
+  // MIN/MAX windows are clipped to [1, n] (SQL frame semantics): unlike
+  // SUM, the zero padding of out-of-range positions would corrupt the
+  // extreme instead of being neutral.
+  std::deque<std::pair<int64_t, SeqValue>> mono;
+  int64_t next = std::max<int64_t>(1 - spec.l(), 1);  // next position to admit
+  for (int64_t k = 1; k <= n; ++k) {
+    const int64_t hi = std::min(k + spec.h(), n);
+    const int64_t lo = k - spec.l();
+    for (; next <= hi; ++next) {
+      const SeqValue v = RawAt(x, next);
+      while (!mono.empty() &&
+             (is_min ? mono.back().second >= v : mono.back().second <= v)) {
+        mono.pop_back();
+      }
+      mono.emplace_back(next, v);
+    }
+    while (!mono.empty() && mono.front().first < lo) mono.pop_front();
+    RFV_CHECK(!mono.empty());
+    out[static_cast<size_t>(k - 1)] = mono.front().second;
+  }
+  return out;
+}
+
+Sequence BuildCompleteSequence(const std::vector<SeqValue>& x,
+                               const WindowSpec& spec, SeqAggFn fn) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  if (spec.is_cumulative()) {
+    std::vector<SeqValue> values;
+    if (fn == SeqAggFn::kSum) {
+      values = ComputeCumulative(x);
+    } else {
+      // Running MIN/MAX.
+      values.assign(x.size(), 0);
+      SeqValue extreme = 0;
+      for (size_t i = 0; i < x.size(); ++i) {
+        if (i == 0) {
+          extreme = x[i];
+        } else if (fn == SeqAggFn::kMin) {
+          extreme = std::min(extreme, x[i]);
+        } else {
+          extreme = std::max(extreme, x[i]);
+        }
+        values[i] = extreme;
+      }
+    }
+    return Sequence(spec, fn, n, 1, std::move(values));
+  }
+
+  // Sliding: compute over the extended range [-h+1, n+l] by treating the
+  // extended positions as a longer raw array shifted so everything is
+  // 1-based.
+  if (n == 0) {
+    return Sequence(spec, fn, 0, 1, {});
+  }
+  const int64_t first = -spec.h() + 1;
+  const int64_t last = n + spec.l();
+  const int64_t count = last - first + 1;
+  std::vector<SeqValue> values(static_cast<size_t>(std::max<int64_t>(count, 0)),
+                               0);
+  if (fn == SeqAggFn::kSum) {
+    // Pipelined sweep across the extended range.
+    SeqValue running = 0;
+    for (int64_t i = first - spec.l(); i <= first + spec.h(); ++i) {
+      running += RawAt(x, i);
+    }
+    if (count > 0) values[0] = running;
+    for (int64_t k = first + 1; k <= last; ++k) {
+      running += RawAt(x, k + spec.h()) - RawAt(x, k - spec.l() - 1);
+      values[static_cast<size_t>(k - first)] = running;
+    }
+  } else {
+    // MIN/MAX windows are clipped to [1, n] (SQL frame semantics; the
+    // SUM-style zero padding would corrupt extremes). Every header and
+    // trailer position still has a non-empty clipped window — that is
+    // precisely the definition of the header/trailer extent.
+    const bool is_min = fn == SeqAggFn::kMin;
+    std::deque<std::pair<int64_t, SeqValue>> mono;
+    int64_t next = 1;
+    for (int64_t k = first; k <= last; ++k) {
+      const int64_t hi = std::min(k + spec.h(), n);
+      const int64_t lo = k - spec.l();
+      for (; next <= hi; ++next) {
+        const SeqValue v = RawAt(x, next);
+        while (!mono.empty() &&
+               (is_min ? mono.back().second >= v : mono.back().second <= v)) {
+          mono.pop_back();
+        }
+        mono.emplace_back(next, v);
+      }
+      while (!mono.empty() && mono.front().first < lo) mono.pop_front();
+      RFV_CHECK(!mono.empty());
+      values[static_cast<size_t>(k - first)] = mono.front().second;
+    }
+  }
+  return Sequence(spec, fn, n, first, std::move(values));
+}
+
+}  // namespace rfv

@@ -1,0 +1,47 @@
+#ifndef RFVIEW_SEQUENCE_COMPUTE_H_
+#define RFVIEW_SEQUENCE_COMPUTE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// Sequence computation strategies (paper §2.2).
+///
+/// Raw data is x[0..n-1] = x_1..x_n (0-based storage of 1-based paper
+/// positions); values outside are zero.
+
+/// Naive explicit form: x̃_k = F{x_{k-l}, ..., x_{k+h}} — O(n·w)
+/// operations, the cost profile of the paper's relational self-join
+/// mapping (Fig. 2).
+std::vector<SeqValue> ComputeSlidingNaive(const std::vector<SeqValue>& x,
+                                          const WindowSpec& spec);
+
+/// Pipelined recursion x̃_k = x̃_{k-1} + x_{k+h} - x_{k-l-1} — 3
+/// operations per position independent of the window size, with a cache
+/// of w+2 values (paper §2.2).
+std::vector<SeqValue> ComputeSlidingPipelined(const std::vector<SeqValue>& x,
+                                              const WindowSpec& spec);
+
+/// Cumulative recursion x̃_k = x̃_{k-1} + x_k.
+std::vector<SeqValue> ComputeCumulative(const std::vector<SeqValue>& x);
+
+/// Sliding MIN/MAX via a monotonic deque — O(n) total.
+std::vector<SeqValue> ComputeSlidingMinMax(const std::vector<SeqValue>& x,
+                                           const WindowSpec& spec,
+                                           bool is_min);
+
+/// Builds a *complete* sequence (header -h+1..0 and trailer n+1..n+l
+/// included, paper §3.2) over raw data x_1..x_n. SUM uses the pipelined
+/// scheme; MIN/MAX the deque. Cumulative sequences store [1, n] (header
+/// is identically 0, trailer saturates at x̃_n).
+/// Errors: kInvalidArgument for MIN/MAX with a cumulative spec are
+/// accepted (running MIN/MAX) — no error cases currently.
+Sequence BuildCompleteSequence(const std::vector<SeqValue>& x,
+                               const WindowSpec& spec, SeqAggFn fn);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_COMPUTE_H_

@@ -1,0 +1,55 @@
+#include "sequence/derive_cumulative.h"
+
+namespace rfv {
+
+namespace {
+
+Status ValidateCumulativeSum(const Sequence& seq) {
+  if (!seq.spec().is_cumulative()) {
+    return Status::InvalidArgument("expected a cumulative sequence");
+  }
+  if (seq.fn() != SeqAggFn::kSum) {
+    return Status::InvalidArgument(
+        "cumulative derivation requires a SUM sequence (MIN/MAX running "
+        "aggregates are not invertible)");
+  }
+  return Status::OK();
+}
+
+/// Cumulative accessor with zero header and saturated trailer.
+inline SeqValue CumAt(const Sequence& c, int64_t k) {
+  if (k < 1) return 0;
+  if (k > c.n()) return c.at(c.n());
+  return c.at(k);
+}
+
+}  // namespace
+
+Result<std::vector<SeqValue>> RawFromCumulative(const Sequence& cumulative) {
+  RFV_RETURN_IF_ERROR(ValidateCumulativeSum(cumulative));
+  const int64_t n = cumulative.n();
+  std::vector<SeqValue> x(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    x[static_cast<size_t>(k - 1)] = CumAt(cumulative, k) -
+                                    CumAt(cumulative, k - 1);
+  }
+  return x;
+}
+
+Result<std::vector<SeqValue>> SlidingFromCumulative(const Sequence& cumulative,
+                                                    const WindowSpec& target) {
+  RFV_RETURN_IF_ERROR(ValidateCumulativeSum(cumulative));
+  if (!target.is_sliding()) {
+    return Status::InvalidArgument("target window must be sliding");
+  }
+  const int64_t n = cumulative.n();
+  std::vector<SeqValue> y(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    y[static_cast<size_t>(k - 1)] =
+        CumAt(cumulative, k + target.h()) -
+        CumAt(cumulative, k - target.l() - 1);
+  }
+  return y;
+}
+
+}  // namespace rfv

@@ -1,0 +1,30 @@
+#ifndef RFVIEW_SEQUENCE_DERIVE_CUMULATIVE_H_
+#define RFVIEW_SEQUENCE_DERIVE_CUMULATIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// Derivations from materialized *cumulative* sequences (paper §3.1).
+/// A cumulative SUM sequence c_k = Σ_{i<=k} x_i is accessed with the
+/// conventions c_k = 0 for k < 1 and c_k = c_n for k > n (the cumulative
+/// header is identically zero and the trailer saturates).
+
+/// Reconstructs the raw data x_1..x_n: x_k = c_k − c_{k-1}.
+/// Errors: kInvalidArgument for non-cumulative or non-SUM input.
+Result<std::vector<SeqValue>> RawFromCumulative(const Sequence& cumulative);
+
+/// Derives a sliding-window sequence ỹ = (l, h) for positions 1..n:
+/// ỹ_k = c_{k+h} − c_{k-l-1} (paper Fig. 5). Works for every (l, h) —
+/// cumulative views dominate all sliding windows.
+/// Errors: kInvalidArgument for non-cumulative/non-SUM input or a
+/// non-sliding target.
+Result<std::vector<SeqValue>> SlidingFromCumulative(const Sequence& cumulative,
+                                                    const WindowSpec& target);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_DERIVE_CUMULATIVE_H_

@@ -1,0 +1,59 @@
+#ifndef RFVIEW_SEQUENCE_MAINTAIN_H_
+#define RFVIEW_SEQUENCE_MAINTAIN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// Incremental maintenance of materialized sliding-window sequences
+/// (paper §2.3): under UPDATE/INSERT/DELETE of a single raw value only
+/// the sequence positions whose window touches the modified position
+/// change — w = l+h+1 positions — instead of recomputing the whole
+/// sequence.
+///
+/// All functions mutate both the raw data vector (x[0] is position 1)
+/// and the complete sequence in place, keeping header/trailer intact,
+/// and return the number of sequence positions recomputed (the paper's
+/// locality claim, used by tests and the A2 ablation bench).
+///
+/// The update rule for SUM at position k (x_k → x'_k) is
+///   x̃'_i = x̃_i + (x'_k − x_k)   for k-h <= i <= k+l,  unchanged otherwise.
+/// Insert of value v at position k (old values at >= k shift right):
+///   x̃'_i = x̃_i                    for i < k-h,
+///   x̃'_i = v + x̃_i − x_{i+h}      for k-h <= i <= k+l   (old x̃, old x),
+///   x̃'_i = x̃_{i-1}                for i > k+l.
+/// Delete of position k (old values at > k shift left):
+///   x̃'_i = x̃_i                    for i < k-h,
+///   x̃'_i = x̃_i − x_k + x_{i+h+1}  for k-h <= i < k+l    (old x̃, old x),
+///   x̃'_i = x̃_{i+1}                for i >= k+l.
+/// (Derived from first principles; the scanned paper's insert/delete
+/// formulas are OCR-damaged. Property tests validate every rule against
+/// full recomputation.)
+///
+/// MIN/MAX sequences are maintained by recomputing the w affected
+/// windows with a monotonic deque (the paper's footnote covers only the
+/// monotone-improvement case min(x̃_i, x'_k); a value update that
+/// *removes* the extreme requires the window recompute).
+
+/// Errors: kInvalidArgument for k outside [1, n] (insert allows n+1 =
+/// append).
+Result<size_t> MaintainUpdate(std::vector<SeqValue>* x, Sequence* seq,
+                              int64_t k, SeqValue new_value);
+Result<size_t> MaintainInsert(std::vector<SeqValue>* x, Sequence* seq,
+                              int64_t k, SeqValue value);
+Result<size_t> MaintainDelete(std::vector<SeqValue>* x, Sequence* seq,
+                              int64_t k);
+
+/// Cumulative-sequence maintenance: an update at k adds the delta to all
+/// positions >= k (O(n-k)); insert/delete additionally shift. Returned
+/// count is the number of positions written.
+Result<size_t> MaintainCumulativeUpdate(std::vector<SeqValue>* x,
+                                        Sequence* seq, int64_t k,
+                                        SeqValue new_value);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_MAINTAIN_H_

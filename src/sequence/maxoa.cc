@@ -1,0 +1,204 @@
+#include "sequence/maxoa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rfv {
+
+namespace {
+
+Status ValidateView(const Sequence& view) {
+  if (!view.spec().is_sliding()) {
+    return Status::InvalidArgument("MaxOA requires a sliding-window view");
+  }
+  if (!view.IsComplete()) {
+    return Status::NotDerivable(
+        "MaxOA requires a complete view sequence (header/trailer)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MaxoaParams> PlanMaxoa(const WindowSpec& view,
+                              const WindowSpec& query) {
+  if (!view.is_sliding() || !query.is_sliding()) {
+    return Status::NotDerivable("MaxOA requires sliding windows");
+  }
+  MaxoaParams params;
+  params.delta_l = query.l() - view.l();
+  params.delta_h = query.h() - view.h();
+  if (params.delta_l < 0 || params.delta_h < 0) {
+    return Status::NotDerivable(
+        "MaxOA requires the query window to contain the view window "
+        "(coverage factors must be non-negative)");
+  }
+  const int64_t wx_minus_1 = view.l() + view.h();
+  if (params.delta_l > wx_minus_1 - 1 || params.delta_h > wx_minus_1 - 1) {
+    // Paper precondition l_y <= h−1+2·l_x ⇔ Δl <= l_x+h_x−1 (and the
+    // mirrored condition for the upper side).
+    return Status::NotDerivable(
+        "MaxOA precondition violated: query window more than twice the "
+        "view window on one side");
+  }
+  params.delta_p = 1 + view.l() + view.h() - params.delta_l;
+  params.delta_q = 1 + view.l() + view.h() - params.delta_h;
+  return params;
+}
+
+Result<std::vector<SeqValue>> DeriveMaxoaRecursive(const Sequence& view,
+                                                   const WindowSpec& query) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  if (view.fn() != SeqAggFn::kSum) {
+    return Status::NotDerivable(
+        "MaxOA SUM derivation requires a SUM view (use DeriveMaxoaMinMax)");
+  }
+  MaxoaParams params;
+  RFV_ASSIGN_OR_RETURN(params, PlanMaxoa(view.spec(), query));
+  const int64_t n = view.n();
+  const int64_t hx = view.spec().h();
+  const int64_t lx = view.spec().l();
+
+  // Left compensation z̃L (type (l_x, h_x−Δl)):
+  //   z̃L_k = x̃_{k−Δl} − x̃_{k−(Δl+Δp)} + z̃L_{k−(Δl+Δp)},
+  // zero while the compensation window lies left of the data
+  // (k <= Δl − h_x).
+  std::vector<SeqValue> zl;
+  int64_t zl_first = 0;
+  if (params.delta_l > 0) {
+    const int64_t step = params.delta_l + params.delta_p;
+    zl_first = params.delta_l - hx + 1;
+    const int64_t zl_last = n;
+    zl.assign(static_cast<size_t>(std::max<int64_t>(zl_last - zl_first + 1, 0)),
+              0);
+    for (int64_t k = zl_first; k <= zl_last; ++k) {
+      const int64_t prev = k - step;
+      const SeqValue prev_z =
+          prev >= zl_first ? zl[static_cast<size_t>(prev - zl_first)] : 0;
+      zl[static_cast<size_t>(k - zl_first)] =
+          view.at(k - params.delta_l) - view.at(k - step) + prev_z;
+    }
+  }
+
+  // Right compensation z̃H (type (l_x−Δh, h_x)):
+  //   z̃H_k = x̃_{k+Δh} − x̃_{k+(Δh+Δq)} + z̃H_{k+(Δh+Δq)},
+  // zero once the compensation window lies right of the data
+  // (k > n + l_x − Δh).
+  std::vector<SeqValue> zh;
+  int64_t zh_first = 1;
+  int64_t zh_last = 0;
+  if (params.delta_h > 0) {
+    const int64_t step = params.delta_h + params.delta_q;
+    zh_first = 1;
+    zh_last = n + lx - params.delta_h;
+    zh.assign(static_cast<size_t>(std::max<int64_t>(zh_last - zh_first + 1, 0)),
+              0);
+    for (int64_t k = zh_last; k >= zh_first; --k) {
+      const int64_t next = k + step;
+      const SeqValue next_z =
+          next <= zh_last ? zh[static_cast<size_t>(next - zh_first)] : 0;
+      zh[static_cast<size_t>(k - zh_first)] =
+          view.at(k + params.delta_h) - view.at(k + step) + next_z;
+    }
+  }
+
+  std::vector<SeqValue> y(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    SeqValue v = view.at(k);
+    if (params.delta_l > 0) {
+      const SeqValue z =
+          (k >= zl_first && k <= n) ? zl[static_cast<size_t>(k - zl_first)] : 0;
+      v += view.at(k - params.delta_l) - z;
+    }
+    if (params.delta_h > 0) {
+      const SeqValue z = (k >= zh_first && k <= zh_last)
+                             ? zh[static_cast<size_t>(k - zh_first)]
+                             : 0;
+      v += view.at(k + params.delta_h) - z;
+    }
+    y[static_cast<size_t>(k - 1)] = v;
+  }
+  return y;
+}
+
+Result<std::vector<SeqValue>> DeriveMaxoaExplicit(const Sequence& view,
+                                                  const WindowSpec& query) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  if (view.fn() != SeqAggFn::kSum) {
+    return Status::NotDerivable(
+        "MaxOA SUM derivation requires a SUM view (use DeriveMaxoaMinMax)");
+  }
+  MaxoaParams params;
+  RFV_ASSIGN_OR_RETURN(params, PlanMaxoa(view.spec(), query));
+  const int64_t n = view.n();
+  const int64_t first = view.first_pos();
+  const int64_t last = view.last_pos();
+
+  std::vector<SeqValue> y(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    SeqValue v = view.at(k);
+    if (params.delta_l > 0) {
+      const int64_t step = params.delta_l + params.delta_p;
+      for (int64_t i = 1;; ++i) {
+        const int64_t plus = k - i * step;            // x̃_{k−i(Δl+Δp)}
+        const int64_t minus = plus - params.delta_l;  // x̃_{k−Δl−i(Δl+Δp)}
+        if (plus < first) break;  // both terms vanish from here on
+        v += view.at(plus) - view.at(minus);
+      }
+    }
+    if (params.delta_h > 0) {
+      const int64_t step = params.delta_h + params.delta_q;
+      for (int64_t i = 1;; ++i) {
+        const int64_t plus = k + i * step;            // x̃_{k+i(Δh+Δq)}
+        const int64_t minus = plus + params.delta_h;  // x̃_{k+Δh+i(Δh+Δq)}
+        if (plus > last) break;
+        v += view.at(plus) - view.at(minus);
+      }
+    }
+    y[static_cast<size_t>(k - 1)] = v;
+  }
+  return y;
+}
+
+Result<std::vector<SeqValue>> DeriveMaxoaMinMax(const Sequence& view,
+                                                const WindowSpec& query) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  if (view.fn() != SeqAggFn::kMin && view.fn() != SeqAggFn::kMax) {
+    return Status::InvalidArgument(
+        "DeriveMaxoaMinMax requires a MIN or MAX view");
+  }
+  if (!query.is_sliding()) {
+    return Status::NotDerivable("MIN/MAX derivation target must be sliding");
+  }
+  const int64_t delta_l = query.l() - view.spec().l();
+  const int64_t delta_h = query.h() - view.spec().h();
+  if (delta_l < 0 || delta_h < 0) {
+    return Status::NotDerivable(
+        "MIN/MAX derivation requires the query window to contain the view "
+        "window");
+  }
+  // Coverage conditions. MIN/MAX windows clip at the data boundary (a
+  // zero padding would corrupt extremes — see compute.cc), so both
+  // covering view positions must stay inside the stored header/trailer
+  // extent: Δl <= h_x and Δh <= l_x. These imply gap-freeness
+  // (Δl + Δh <= l_x + h_x < l_x + h_x + 1); overlap of the two covering
+  // windows is harmless — MIN/MAX are idempotent, which is exactly why
+  // MaxOA handles them and the subtraction-based MinOA cannot.
+  if (delta_l > view.spec().h() || delta_h > view.spec().l()) {
+    return Status::NotDerivable(
+        "MIN/MAX derivation would read past the view's header/trailer "
+        "(requires delta_l <= h_x and delta_h <= l_x)");
+  }
+  const bool is_min = view.fn() == SeqAggFn::kMin;
+  const int64_t n = view.n();
+  std::vector<SeqValue> y(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    const SeqValue a = view.at(k - delta_l);
+    const SeqValue b = view.at(k + delta_h);
+    y[static_cast<size_t>(k - 1)] = is_min ? std::min(a, b) : std::max(a, b);
+  }
+  return y;
+}
+
+}  // namespace rfv

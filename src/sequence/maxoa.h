@@ -1,0 +1,60 @@
+#ifndef RFVIEW_SEQUENCE_MAXOA_H_
+#define RFVIEW_SEQUENCE_MAXOA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// MaxOA — the Maximal Overlapping Algorithm (paper §4): derive a
+/// sliding-window query sequence ỹ = (l_y, h_y) from a materialized
+/// complete view sequence x̃ = (l_x, h_x) by covering each query window
+/// with maximally overlapping view windows and subtracting compensation
+/// sequences for the double-counted overlap.
+struct MaxoaParams {
+  int64_t delta_l = 0;  ///< coverage factor Δl = l_y − l_x  (>= 0)
+  int64_t delta_h = 0;  ///< coverage factor Δh = h_y − h_x  (>= 0)
+  int64_t delta_p = 0;  ///< overlap factor Δp = 1 + l_x + h_x − Δl
+  int64_t delta_q = 0;  ///< overlap factor Δq = 1 + l_x + h_x − Δh
+};
+
+/// Validates the MaxOA preconditions and computes the factors.
+/// Requirements (generalizing the paper's single-side condition
+/// l_y <= h−1+2·l_x, i.e. Δl <= l_x+h_x−1, to both sides):
+///   * both windows sliding, view is SUM (use DeriveMaxoaMinMax for
+///     MIN/MAX),
+///   * Δl >= 0 and Δh >= 0 (the query window contains the view window),
+///   * Δl <= l_x + h_x − 1 and Δh <= l_x + h_x − 1 (each overlap factor
+///     is >= 2, so compensation windows are proper sub-windows).
+/// Errors: kNotDerivable when violated.
+Result<MaxoaParams> PlanMaxoa(const WindowSpec& view, const WindowSpec& query);
+
+/// Recursive form (paper §4.1/4.2): materializes the compensation
+/// sequences z̃L/z̃H by their recursions, then
+///   ỹ_k = x̃_k + (x̃_{k−Δl} − z̃L_k) + (x̃_{k+Δh} − z̃H_k).
+/// Returns ỹ_1..ỹ_n. Errors: PlanMaxoa failures, non-complete view.
+Result<std::vector<SeqValue>> DeriveMaxoaRecursive(const Sequence& view,
+                                                   const WindowSpec& query);
+
+/// Explicit form (paper §4.1 theorem, both sides):
+///   ỹ_k = x̃_k + Σ_{i>=1} [ x̃_{k−i(Δl+Δp)} − x̃_{k−Δl−i(Δl+Δp)} ]
+///              + Σ_{i>=1} [ x̃_{k+i(Δh+Δq)} − x̃_{k+Δh+i(Δh+Δq)} ].
+/// This is the form the relational operator pattern (Fig. 10)
+/// implements. Returns ỹ_1..ỹ_n.
+Result<std::vector<SeqValue>> DeriveMaxoaExplicit(const Sequence& view,
+                                                  const WindowSpec& query);
+
+/// MIN/MAX derivation (paper §4.2 closing remark): ỹ_k =
+/// min/max(x̃_{k−Δl}, x̃_{k+Δh}) when the two view windows cover the
+/// query window without a gap, i.e. Δl + Δh <= l_x + h_x + 1 (overlap is
+/// harmless — MIN/MAX are idempotent; that is exactly why MaxOA handles
+/// them and MinOA cannot). Errors: kNotDerivable when a gap would
+/// remain, kInvalidArgument when the view is not MIN/MAX.
+Result<std::vector<SeqValue>> DeriveMaxoaMinMax(const Sequence& view,
+                                                const WindowSpec& query);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_MAXOA_H_

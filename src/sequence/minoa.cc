@@ -1,0 +1,114 @@
+#include "sequence/minoa.h"
+
+namespace rfv {
+
+namespace {
+
+Status ValidateView(const Sequence& view) {
+  if (!view.spec().is_sliding()) {
+    return Status::NotDerivable("MinOA requires a sliding-window view");
+  }
+  if (view.fn() != SeqAggFn::kSum) {
+    return Status::NotDerivable(
+        "MinOA requires a SUM view (MIN/MAX cannot be subtracted)");
+  }
+  if (!view.IsComplete()) {
+    return Status::NotDerivable(
+        "MinOA requires a complete view sequence (header/trailer)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MinoaParams> PlanMinoa(const WindowSpec& view,
+                              const WindowSpec& query) {
+  if (!view.is_sliding() || !query.is_sliding()) {
+    return Status::NotDerivable("MinOA requires sliding windows");
+  }
+  MinoaParams params;
+  params.delta_l = query.l() - view.l();
+  params.delta_h = query.h() - view.h();
+  params.wx = view.size();
+  return params;
+}
+
+Result<std::vector<SeqValue>> DeriveMinoa(const Sequence& view,
+                                          const WindowSpec& query) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  MinoaParams params;
+  RFV_ASSIGN_OR_RETURN(params, PlanMinoa(view.spec(), query));
+  const int64_t n = view.n();
+  const int64_t first = view.first_pos();
+
+  std::vector<SeqValue> y(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    SeqValue v = 0;
+    // Positive chain: head right-justified with the query window's upper
+    // bound, stepped down by w_x.
+    for (int64_t p = k + params.delta_h; p >= first; p -= params.wx) {
+      v += view.at(p);
+    }
+    // Negative chain: fills (−∞, k−l_y−1].
+    for (int64_t p = k - params.delta_l - params.wx; p >= first;
+         p -= params.wx) {
+      v -= view.at(p);
+    }
+    y[static_cast<size_t>(k - 1)] = v;
+  }
+  return y;
+}
+
+Result<std::vector<SeqValue>> RawFromSliding(const Sequence& view) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  const int64_t n = view.n();
+  const int64_t h = view.spec().h();
+  const int64_t w = view.spec().size();
+  const int64_t first = view.first_pos();
+  std::vector<SeqValue> x(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    SeqValue v = 0;
+    // x_k = Σ_{i>=0} ( x̃_{k−h−i·w} − x̃_{k−h−1−i·w} ); the chain stops
+    // once both positions fall left of the header.
+    for (int64_t p = k - h; p >= first; p -= w) {
+      v += view.at(p) - view.at(p - 1);
+    }
+    x[static_cast<size_t>(k - 1)] = v;
+  }
+  return x;
+}
+
+Result<std::vector<SeqValue>> RawFromSlidingLinear(const Sequence& view) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  const int64_t n = view.n();
+  const int64_t h = view.spec().h();
+  const int64_t w = view.spec().size();
+  std::vector<SeqValue> x(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    // Neighbor relationship x̃_{k−h} − x̃_{k−h−1} = x_k − x_{k−w}
+    // (both windows differ in exactly those two raw values).
+    const SeqValue prev =
+        k - w >= 1 ? x[static_cast<size_t>(k - w - 1)] : 0;
+    x[static_cast<size_t>(k - 1)] =
+        prev + view.at(k - h) - view.at(k - h - 1);
+  }
+  return x;
+}
+
+Result<std::vector<SeqValue>> CumulativeFromSliding(const Sequence& view) {
+  RFV_RETURN_IF_ERROR(ValidateView(view));
+  const int64_t n = view.n();
+  const int64_t h = view.spec().h();
+  const int64_t w = view.spec().size();
+  std::vector<SeqValue> c(static_cast<size_t>(n), 0);
+  for (int64_t k = 1; k <= n; ++k) {
+    // c_k covers (−∞, k]: the positive MinOA chain with h_y = 0. Reuse
+    // c_{k−w} (covers (−∞, k−w]; zero when k−w < 1 since raw values
+    // left of position 1 are zero) and add the window ending at k.
+    const SeqValue prev = k - w >= 1 ? c[static_cast<size_t>(k - w - 1)] : 0;
+    c[static_cast<size_t>(k - 1)] = prev + view.at(k - h);
+  }
+  return c;
+}
+
+}  // namespace rfv

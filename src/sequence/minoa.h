@@ -1,0 +1,54 @@
+#ifndef RFVIEW_SEQUENCE_MINOA_H_
+#define RFVIEW_SEQUENCE_MINOA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// MinOA — the Minimal Overlapping Algorithm (paper §5): derive a query
+/// sequence ỹ = (l_y, h_y) from a complete view sequence x̃ = (l_x, h_x)
+/// as the difference of two telescoping view-window chains:
+///
+///   ỹ_k = Σ_{i>=0} x̃_{k+Δh−i·w_x}  −  Σ_{i>=1} x̃_{k−Δl−i·w_x}
+///
+/// with w_x = l_x+h_x+1, Δl = l_y−l_x, Δh = h_y−h_x (either may be
+/// negative — MinOA imposes *no* window-size precondition beyond
+/// completeness, which is why raw-value reconstruction (§3.2) is its
+/// l_y = h_y = 0 special case). The positive chain tiles (−∞, k+h_y],
+/// the negative chain tiles (−∞, k−l_y−1]; both are finite because the
+/// complete sequence vanishes left of the header. SUM only — MIN/MAX
+/// cannot be subtracted (paper §5, §7 conclusion).
+struct MinoaParams {
+  int64_t delta_l = 0;
+  int64_t delta_h = 0;
+  int64_t wx = 0;  ///< view window size (the telescoping stride)
+};
+
+/// Computes the factors; errors: kNotDerivable for non-sliding windows
+/// or a non-SUM view.
+Result<MinoaParams> PlanMinoa(const WindowSpec& view, const WindowSpec& query);
+
+/// Derives ỹ_1..ỹ_n. Errors: PlanMinoa failures, incomplete view.
+Result<std::vector<SeqValue>> DeriveMinoa(const Sequence& view,
+                                          const WindowSpec& query);
+
+/// Raw-value reconstruction from a sliding view (paper §3.2) — the
+/// (l_y, h_y) = (0, 0) MinOA chain, per position k:
+///   x_k = Σ_{i>=0} ( x̃_{k−h−i·w} − x̃_{k−h−1−i·w} ).
+Result<std::vector<SeqValue>> RawFromSliding(const Sequence& view);
+
+/// O(n) batch variant using the neighbor relationship
+/// x_k = x_{k−w} + x̃_{k−h} − x̃_{k−h−1} (each position reuses the value
+/// one stride earlier instead of re-summing the chain).
+Result<std::vector<SeqValue>> RawFromSlidingLinear(const Sequence& view);
+
+/// Cumulative query from a sliding view: c_k = Σ_{i>=0} x̃_{k−h−i·w}
+/// (the positive MinOA chain alone).
+Result<std::vector<SeqValue>> CumulativeFromSliding(const Sequence& view);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_MINOA_H_

@@ -1,0 +1,174 @@
+#include "sequence/reporting.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sequence/compute.h"
+#include "sequence/derive_cumulative.h"
+#include "sequence/minoa.h"
+
+namespace rfv {
+
+PositionSpace::PositionSpace(std::vector<int64_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  RFV_CHECK(!cardinalities_.empty());
+  strides_.assign(cardinalities_.size(), 1);
+  for (size_t i = cardinalities_.size(); i-- > 0;) {
+    RFV_CHECK_MSG(cardinalities_[i] > 0, "cardinality must be positive");
+    if (i + 1 < cardinalities_.size()) {
+      strides_[i] = strides_[i + 1] * cardinalities_[i + 1];
+    }
+  }
+  total_ = strides_[0] * cardinalities_[0];
+}
+
+Result<int64_t> PositionSpace::pos(const std::vector<int64_t>& coords) const {
+  if (coords.size() != cardinalities_.size()) {
+    return Status::InvalidArgument("pos(): coordinate arity mismatch");
+  }
+  int64_t p = 1;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i] < 1 || coords[i] > cardinalities_[i]) {
+      return Status::InvalidArgument(
+          "pos(): coordinate " + std::to_string(i + 1) + " out of domain");
+    }
+    p += (coords[i] - 1) * strides_[i];
+  }
+  return p;
+}
+
+Result<std::vector<int64_t>> PositionSpace::coords(int64_t k) const {
+  if (k < 1 || k > total_) {
+    return Status::InvalidArgument("coords(): position out of range");
+  }
+  std::vector<int64_t> out(cardinalities_.size(), 1);
+  int64_t rest = k - 1;
+  for (size_t i = 0; i < cardinalities_.size(); ++i) {
+    out[i] = rest / strides_[i] + 1;
+    rest %= strides_[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Block size when collapsing the right-most j ordering columns.
+Result<int64_t> BlockSize(const PositionSpace& space, size_t j) {
+  if (j < 1 || j >= space.num_columns()) {
+    return Status::InvalidArgument(
+        "ordering reduction must drop between 1 and n-1 columns");
+  }
+  int64_t block = 1;
+  for (size_t i = space.num_columns() - j; i < space.num_columns(); ++i) {
+    block *= space.cardinality(i);
+  }
+  return block;
+}
+
+}  // namespace
+
+Result<std::vector<SeqValue>> OrderingReductionCumulative(
+    const PositionSpace& space, const std::vector<SeqValue>& fine_cumulative,
+    size_t j) {
+  int64_t block = 0;
+  RFV_ASSIGN_OR_RETURN(block, BlockSize(space, j));
+  if (static_cast<int64_t>(fine_cumulative.size()) != space.total()) {
+    return Status::InvalidArgument(
+        "fine sequence size does not match the position space");
+  }
+  const int64_t blocks = space.total() / block;
+  std::vector<SeqValue> coarse(static_cast<size_t>(blocks), 0);
+  for (int64_t b = 0; b < blocks; ++b) {
+    // The lemma's window w'_H(k) = pos(prefix+1, 1..1) − k − 1 points at
+    // the last fine position of block b, where the fine cumulative value
+    // equals the coarse cumulative value.
+    coarse[static_cast<size_t>(b)] =
+        fine_cumulative[static_cast<size_t>((b + 1) * block - 1)];
+  }
+  return coarse;
+}
+
+Result<std::vector<SeqValue>> OrderingReductionBlockTotals(
+    const PositionSpace& space, const std::vector<SeqValue>& fine_cumulative,
+    size_t j) {
+  std::vector<SeqValue> coarse;
+  RFV_ASSIGN_OR_RETURN(coarse,
+                       OrderingReductionCumulative(space, fine_cumulative, j));
+  for (size_t b = coarse.size(); b-- > 1;) {
+    coarse[b] -= coarse[b - 1];
+  }
+  return coarse;
+}
+
+Status PartitionedSequence::AddPartition(std::vector<int64_t> key,
+                                         std::vector<SeqValue> raw) {
+  if (!partitions_.empty() && !(partitions_.back().key < key)) {
+    return Status::InvalidArgument(
+        "partitions must be added in ascending key order");
+  }
+  Sequence sequence = BuildCompleteSequence(raw, spec_, fn_);
+  partitions_.push_back(
+      Partition{std::move(key), std::move(raw), std::move(sequence)});
+  return Status::OK();
+}
+
+bool PartitionedSequence::IsComplete() const {
+  for (const Partition& p : partitions_) {
+    if (!p.sequence.IsComplete()) return false;
+  }
+  return true;
+}
+
+Result<PartitionedSequence> PartitionedSequence::ReducePartitioning(
+    size_t drop) const {
+  if (partitions_.empty()) {
+    return Status::InvalidArgument("no partitions to reduce");
+  }
+  const size_t key_width = partitions_.front().key.size();
+  if (drop < 1 || drop > key_width) {
+    return Status::InvalidArgument("invalid partition-column drop count");
+  }
+  if (!IsComplete()) {
+    return Status::NotDerivable(
+        "partitioning reduction requires a complete reporting function "
+        "(header/trailer per partition)");
+  }
+  if (fn_ != SeqAggFn::kSum) {
+    return Status::NotDerivable(
+        "partitioning reduction reconstructs raw data from the partition "
+        "sequences, which is only possible for SUM");
+  }
+
+  PartitionedSequence reduced(spec_, fn_);
+  size_t group_start = 0;
+  while (group_start < partitions_.size()) {
+    const std::vector<int64_t> prefix(
+        partitions_[group_start].key.begin(),
+        partitions_[group_start].key.end() - static_cast<ptrdiff_t>(drop));
+    // Merge all partitions sharing the prefix: reconstruct each member's
+    // raw data *from its sequence* (the derivation the lemma licenses),
+    // concatenate in key order, re-sequence.
+    std::vector<SeqValue> merged_raw;
+    size_t group_end = group_start;
+    while (group_end < partitions_.size()) {
+      const std::vector<int64_t>& key = partitions_[group_end].key;
+      if (!std::equal(prefix.begin(), prefix.end(), key.begin())) break;
+      std::vector<SeqValue> raw;
+      if (spec_.is_cumulative()) {
+        RFV_ASSIGN_OR_RETURN(
+            raw, RawFromCumulative(partitions_[group_end].sequence));
+      } else {
+        RFV_ASSIGN_OR_RETURN(
+            raw, RawFromSlidingLinear(partitions_[group_end].sequence));
+      }
+      merged_raw.insert(merged_raw.end(), raw.begin(), raw.end());
+      ++group_end;
+    }
+    RFV_RETURN_IF_ERROR(
+        reduced.AddPartition(prefix, std::move(merged_raw)));
+    group_start = group_end;
+  }
+  return reduced;
+}
+
+}  // namespace rfv

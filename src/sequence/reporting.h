@@ -1,0 +1,123 @@
+#ifndef RFVIEW_SEQUENCE_REPORTING_H_
+#define RFVIEW_SEQUENCE_REPORTING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sequence/sequence.h"
+
+namespace rfv {
+
+/// Position function over a dense multi-column linear ordering (paper
+/// §6, Definition "Position Function"): pos: Nⁿ → N maps an ordering
+/// coordinate tuple (k_1, ..., k_n), each k_i in [1, c_i], to its global
+/// 1-based position in lexicographic order. For n = 1 this is the
+/// identity, matching the paper's "for n = 1, pos is equivalent to
+/// id()".
+class PositionSpace {
+ public:
+  /// `cardinalities` are the per-column domain sizes c_1..c_n (most
+  /// significant first).
+  explicit PositionSpace(std::vector<int64_t> cardinalities);
+
+  size_t num_columns() const { return cardinalities_.size(); }
+  int64_t cardinality(size_t i) const { return cardinalities_[i]; }
+
+  /// Total number of positions (Π c_i).
+  int64_t total() const { return total_; }
+
+  /// Global position of a coordinate tuple. Errors: kInvalidArgument for
+  /// wrong arity or out-of-domain coordinates.
+  Result<int64_t> pos(const std::vector<int64_t>& coords) const;
+
+  /// Inverse of pos(). Errors: kInvalidArgument for k outside
+  /// [1, total()].
+  Result<std::vector<int64_t>> coords(int64_t k) const;
+
+ private:
+  std::vector<int64_t> cardinalities_;
+  std::vector<int64_t> strides_;  ///< positions per unit step of column i
+  int64_t total_;
+};
+
+/// Ordering reduction (paper §6.1): derive a reporting sequence ordered
+/// by the prefix (k_1, ..., k_{n-j}) from one ordered by (k_1, ..., k_n).
+/// Dropping the right-most j ordering columns collapses each block of
+/// Π_{i>n-j} c_i fine positions into one coarse position; the lemma's
+/// window bounds
+///   w'_L(k) = k − pos((k_1..k_{n-j}) − 1, 1, ..., 1)
+///   w'_H(k) = pos((k_1..k_{n-j}) + 1, 1, ..., 1) − k − 1
+/// select exactly that block.
+///
+/// `fine_cumulative` holds the cumulative (SUM) sequence over the full
+/// fine position order (values for global positions 1..total()).
+/// Returns the cumulative sequence of the coarse ordering (one value per
+/// coarse block, in coarse order) — the "first sequence entry of ỹ with
+/// regard to the remaining ordering columns" per the lemma.
+/// Errors: kInvalidArgument for j outside [1, n-1] or a wrong-sized
+/// value vector.
+Result<std::vector<SeqValue>> OrderingReductionCumulative(
+    const PositionSpace& space, const std::vector<SeqValue>& fine_cumulative,
+    size_t j);
+
+/// Per-block totals under ordering reduction (collapsing j columns):
+/// block_sum[b] = fine_cum[block end] − fine_cum[block start − 1]. This
+/// is the raw data of the coarse sequence, from which any coarse window
+/// follows.
+Result<std::vector<SeqValue>> OrderingReductionBlockTotals(
+    const PositionSpace& space, const std::vector<SeqValue>& fine_cumulative,
+    size_t j);
+
+/// A reporting sequence with a partitioning scheme (paper §6,
+/// Definition "Reporting Sequences"): one complete simple sequence per
+/// partition, keyed by the partition column values, in partition order.
+/// The sequence is a *complete reporting function* when every partition
+/// sequence is complete (paper §6.2) — the prerequisite for
+/// partitioning reduction.
+class PartitionedSequence {
+ public:
+  struct Partition {
+    std::vector<int64_t> key;  ///< partition column values
+    std::vector<SeqValue> raw; ///< raw data of this partition
+    Sequence sequence;
+  };
+
+  PartitionedSequence(WindowSpec spec, SeqAggFn fn)
+      : spec_(spec), fn_(fn) {}
+
+  const WindowSpec& spec() const { return spec_; }
+  SeqAggFn fn() const { return fn_; }
+
+  /// Adds a partition (keys must arrive in ascending partition order).
+  /// The complete sequence is computed from the raw data.
+  Status AddPartition(std::vector<int64_t> key, std::vector<SeqValue> raw);
+
+  size_t num_partitions() const { return partitions_.size(); }
+  const Partition& partition(size_t i) const { return partitions_[i]; }
+
+  /// True when every partition sequence is complete (paper Definition
+  /// "Complete Reporting Function").
+  bool IsComplete() const;
+
+  /// Partitioning reduction (paper §6.2 lemma): derive the reporting
+  /// sequence with the right-most `drop` partition columns removed.
+  /// Partitions sharing the remaining key prefix merge: their raw data
+  /// is reconstructed from the complete partition sequences (possible
+  /// exactly because the reporting function is complete), concatenated
+  /// in partition order, and re-sequenced under the same window spec.
+  /// Errors: kNotDerivable when the reporting function is not complete,
+  /// kInvalidArgument for drop counts outside [1, #partition columns].
+  Result<PartitionedSequence> ReducePartitioning(size_t drop) const;
+
+ private:
+  WindowSpec spec_;
+  SeqAggFn fn_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_SEQUENCE_REPORTING_H_

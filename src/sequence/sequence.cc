@@ -1,0 +1,36 @@
+#include "sequence/sequence.h"
+
+#include <sstream>
+
+namespace rfv {
+
+bool Sequence::IsComplete() const {
+  if (spec_.is_cumulative()) {
+    // A cumulative sequence has an implicit zero header and saturated
+    // trailer; storing [1, n] suffices.
+    return first_pos() <= 1 && last_pos() >= n_;
+  }
+  const int64_t header_start = -spec_.h() + 1;
+  const int64_t trailer_end = n_ + spec_.l();
+  return first_pos() <= header_start && last_pos() >= trailer_end;
+}
+
+std::vector<SeqValue> Sequence::BodyValues() const {
+  std::vector<SeqValue> body;
+  body.reserve(static_cast<size_t>(n_));
+  for (int64_t k = 1; k <= n_; ++k) body.push_back(at(k));
+  return body;
+}
+
+std::string Sequence::ToString() const {
+  std::ostringstream os;
+  os << SeqAggFnName(fn_) << spec_.ToString() << " n=" << n_ << " [";
+  for (int64_t k = first_pos(); k <= last_pos(); ++k) {
+    if (k > first_pos()) os << ", ";
+    os << k << ":" << at(k);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rfv

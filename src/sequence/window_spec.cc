@@ -1,0 +1,37 @@
+#include "sequence/window_spec.h"
+
+namespace rfv {
+
+const char* SeqAggFnName(SeqAggFn fn) {
+  switch (fn) {
+    case SeqAggFn::kSum: return "SUM";
+    case SeqAggFn::kMin: return "MIN";
+    case SeqAggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+Result<WindowSpec> WindowSpec::Sliding(int64_t l, int64_t h) {
+  if (l < 0 || h < 0) {
+    return Status::InvalidArgument(
+        "sliding window bounds must be non-negative, got l=" +
+        std::to_string(l) + ", h=" + std::to_string(h));
+  }
+  if (l + h == 0) {
+    return Status::InvalidArgument(
+        "sliding window must span more than the current row (l + h > 0)");
+  }
+  return SlidingUnchecked(l, h);
+}
+
+std::string WindowSpec::ToString() const {
+  if (is_cumulative()) return "CUMULATIVE";
+  std::string out = "(";
+  out += std::to_string(l_);
+  out += ',';
+  out += std::to_string(h_);
+  out += ')';
+  return out;
+}
+
+}  // namespace rfv

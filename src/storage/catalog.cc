@@ -1,0 +1,46 @@
+#include "storage/catalog.h"
+
+#include "common/str_util.h"
+
+namespace rfv {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rfv

@@ -1,0 +1,44 @@
+#ifndef RFVIEW_STORAGE_CATALOG_H_
+#define RFVIEW_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace rfv {
+
+/// Name → table registry. Names are case-insensitive (stored lowercase),
+/// matching the engine's SQL identifier rules. Materialized view *contents*
+/// are ordinary tables registered here; view *metadata* lives in
+/// `ViewManager` (src/view) which references this catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Errors: kAlreadyExists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks a table up. Errors: kNotFound.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Drops a table. Errors: kNotFound.
+  Status DropTable(const std::string& name);
+
+  /// All table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_STORAGE_CATALOG_H_

@@ -1,0 +1,77 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace rfv {
+
+namespace {
+
+bool EntryLess(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+}  // namespace
+
+void OrderedIndex::Insert(const Value& key, size_t row_id) {
+  if (!entries_.empty() && EntryLess(key, entries_.back().key)) {
+    sorted_ = false;
+  }
+  entries_.push_back(Entry{key, row_id});
+}
+
+void OrderedIndex::RebuildFrom(const Table& table) {
+  entries_.clear();
+  entries_.reserve(table.NumRows());
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    entries_.push_back(Entry{table.row(i)[column_], i});
+  }
+  sorted_ = false;
+  dirty_ = false;
+  EnsureSorted();
+}
+
+void OrderedIndex::EnsureSorted() {
+  if (sorted_) return;
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return EntryLess(a.key, b.key);
+                   });
+  sorted_ = true;
+}
+
+std::vector<size_t> OrderedIndex::Lookup(const Value& key) const {
+  RFV_CHECK(!dirty_);
+  RFV_CHECK(sorted_);
+  std::vector<size_t> out;
+  auto [lo, hi] = std::equal_range(
+      entries_.begin(), entries_.end(), Entry{key, 0},
+      [](const Entry& a, const Entry& b) { return EntryLess(a.key, b.key); });
+  for (auto it = lo; it != hi; ++it) out.push_back(it->row_id);
+  return out;
+}
+
+std::vector<size_t> OrderedIndex::LookupRange(const Value& lo, bool has_lo,
+                                              const Value& hi,
+                                              bool has_hi) const {
+  RFV_CHECK(!dirty_);
+  RFV_CHECK(sorted_);
+  auto begin = entries_.begin();
+  auto end = entries_.end();
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    return EntryLess(a.key, b.key);
+  };
+  if (has_lo) {
+    begin = std::lower_bound(entries_.begin(), entries_.end(), Entry{lo, 0},
+                             cmp);
+  }
+  if (has_hi) {
+    end = std::upper_bound(entries_.begin(), entries_.end(), Entry{hi, 0},
+                           cmp);
+  }
+  std::vector<size_t> out;
+  for (auto it = begin; it < end; ++it) out.push_back(it->row_id);
+  return out;
+}
+
+}  // namespace rfv

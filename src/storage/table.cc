@@ -1,0 +1,147 @@
+#include "storage/table.h"
+
+#include <utility>
+
+namespace rfv {
+
+Status Table::ValidateAndCoerce(Row* row) const {
+  if (row->size() != schema_.NumColumns()) {
+    return Status::TypeError(
+        "row arity " + std::to_string(row->size()) + " does not match table " +
+        name_ + " with " + std::to_string(schema_.NumColumns()) + " columns");
+  }
+  for (size_t i = 0; i < row->size(); ++i) {
+    Value& v = row->at(i);
+    if (v.is_null()) continue;
+    const DataType want = schema_.column(i).type;
+    const DataType have = v.type();
+    if (have == want) continue;
+    if (want == DataType::kDouble && have == DataType::kInt64) {
+      v = Value::Double(static_cast<double>(v.AsInt()));
+      continue;
+    }
+    if (want == DataType::kInt64 && have == DataType::kDouble) {
+      // Accept doubles that are exact integers (parser produces int
+      // literals, but expressions may compute doubles).
+      const double d = v.AsDouble();
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        v = Value::Int(as_int);
+        continue;
+      }
+    }
+    return Status::TypeError("column " + schema_.column(i).name +
+                             " expects " + DataTypeName(want) + ", got " +
+                             DataTypeName(have));
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  const size_t row_id = rows_.size();
+  rows_.push_back(std::move(row));
+  for (auto& index : indexes_) {
+    if (!index->dirty()) {
+      index->Insert(rows_.back()[index->column()], row_id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::InsertBatch(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  }
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) {
+    rows_.push_back(std::move(row));
+  }
+  MarkIndexesDirty();
+  return Status::OK();
+}
+
+Status Table::UpdateRow(size_t row_id, Row row) {
+  if (row_id >= rows_.size()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  rows_[row_id] = std::move(row);
+  MarkIndexesDirty();
+  return Status::OK();
+}
+
+Status Table::UpdateCell(size_t row_id, size_t column, Value value) {
+  if (row_id >= rows_.size()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  if (column >= schema_.NumColumns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  Row updated = rows_[row_id];
+  updated[column] = std::move(value);
+  RFV_RETURN_IF_ERROR(ValidateAndCoerce(&updated));
+  rows_[row_id] = std::move(updated);
+  // Only indexes keyed on the changed column go stale — the paper's
+  // incremental view maintenance updates `val` cells through `pos`
+  // indexes, which must stay warm.
+  for (auto& index : indexes_) {
+    if (index->column() == column) index->MarkDirty();
+  }
+  return Status::OK();
+}
+
+Status Table::DeleteRow(size_t row_id) {
+  if (row_id >= rows_.size()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(row_id));
+  MarkIndexesDirty();
+  return Status::OK();
+}
+
+void Table::Truncate() {
+  rows_.clear();
+  MarkIndexesDirty();
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column_name) {
+  for (const auto& index : indexes_) {
+    if (index->name() == index_name) {
+      return Status::AlreadyExists("index " + index_name + " already exists");
+    }
+  }
+  Result<size_t> column = schema_.FindColumn("", column_name);
+  if (!column.ok()) return column.status();
+  auto index = std::make_unique<OrderedIndex>(index_name, column.value());
+  index->RebuildFrom(*this);
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+OrderedIndex* Table::GetIndexOnColumn(size_t column) {
+  for (auto& index : indexes_) {
+    if (index->column() != column) continue;
+    if (index->dirty()) {
+      index->RebuildFrom(*this);
+    } else {
+      index->EnsureSorted();
+    }
+    return index.get();
+  }
+  return nullptr;
+}
+
+bool Table::HasIndexOnColumn(size_t column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return true;
+  }
+  return false;
+}
+
+void Table::MarkIndexesDirty() {
+  for (auto& index : indexes_) index->MarkDirty();
+}
+
+}  // namespace rfv

@@ -1,0 +1,89 @@
+#ifndef RFVIEW_STORAGE_TABLE_H_
+#define RFVIEW_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/index.h"
+
+namespace rfv {
+
+/// An in-memory table: a named schema plus a row store and a set of
+/// ordered secondary indexes.
+///
+/// Row ids are dense positions in the store; DELETE compacts immediately,
+/// so row ids are only stable between DML statements (the executor never
+/// holds row ids across statements).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Tables own their indexes; moving would invalidate executor references.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t row_id) const { return rows_[row_id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row. Errors: kTypeError on arity or (strict) type
+  /// mismatch; NULLs are accepted in any column, integers widen to
+  /// double columns.
+  Status Insert(Row row);
+
+  /// Bulk append without per-row index maintenance; indexes are marked
+  /// dirty once. Used by workload generators.
+  Status InsertBatch(std::vector<Row> rows);
+
+  /// Replaces the row at `row_id` (same validation as Insert).
+  Status UpdateRow(size_t row_id, Row row);
+
+  /// Sets one cell of one row.
+  Status UpdateCell(size_t row_id, size_t column, Value value);
+
+  /// Removes the row at `row_id`, compacting the store.
+  Status DeleteRow(size_t row_id);
+
+  /// Removes all rows.
+  void Truncate();
+
+  /// Creates an ordered index named `index_name` over `column_name`.
+  /// Errors: kNotFound for unknown column, kAlreadyExists for duplicate
+  /// index names.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& column_name);
+
+  /// Returns a usable (non-dirty) index over `column`, rebuilding it if
+  /// necessary; nullptr when no index exists on that column.
+  OrderedIndex* GetIndexOnColumn(size_t column);
+
+  /// True when some index exists on `column` (without forcing a rebuild).
+  bool HasIndexOnColumn(size_t column) const;
+
+  const std::vector<std::unique_ptr<OrderedIndex>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  /// Validates a row against the schema and coerces int→double where the
+  /// column is kDouble.
+  Status ValidateAndCoerce(Row* row) const;
+
+  void MarkIndexesDirty();
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_STORAGE_TABLE_H_

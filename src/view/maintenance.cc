@@ -1,0 +1,288 @@
+#include "view/maintenance.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/str_util.h"
+
+namespace rfv {
+
+namespace {
+
+struct BaseBinding {
+  Table* base = nullptr;
+  size_t order_col = 0;
+  size_t value_col = 0;
+};
+
+Result<BaseBinding> BindBase(Catalog* catalog, const SequenceViewDef& def) {
+  BaseBinding binding;
+  Result<Table*> base = catalog->GetTable(def.base_table);
+  if (!base.ok()) return base.status();
+  binding.base = *base;
+  Result<size_t> c = binding.base->schema().FindColumn("", def.order_column);
+  if (!c.ok()) return c.status();
+  binding.order_col = *c;
+  c = binding.base->schema().FindColumn("", def.value_column);
+  if (!c.ok()) return c.status();
+  binding.value_col = *c;
+  return binding;
+}
+
+/// Finds the base row id holding `position` (via the position index
+/// when one exists; UpdateCell on the value column keeps it warm).
+Result<size_t> FindBaseRow(const BaseBinding& binding, int64_t position) {
+  OrderedIndex* index = binding.base->GetIndexOnColumn(binding.order_col);
+  if (index != nullptr) {
+    const std::vector<size_t> hits = index->Lookup(Value::Int(position));
+    if (!hits.empty()) return hits.front();
+    return Status::NotFound("no base row at position " +
+                            std::to_string(position));
+  }
+  for (size_t r = 0; r < binding.base->NumRows(); ++r) {
+    const Value& v = binding.base->row(r)[binding.order_col];
+    if (!v.is_null() && v.type() == DataType::kInt64 &&
+        v.AsInt() == position) {
+      return r;
+    }
+  }
+  return Status::NotFound("no base row at position " +
+                          std::to_string(position));
+}
+
+/// Fetches the base value at `position`, 0 when absent (paper padding).
+double BaseValueAt(const BaseBinding& binding, int64_t position) {
+  for (size_t r = 0; r < binding.base->NumRows(); ++r) {
+    const Row& row = binding.base->row(r);
+    const Value& p = row[binding.order_col];
+    if (!p.is_null() && p.type() == DataType::kInt64 &&
+        p.AsInt() == position) {
+      const Value& v = row[binding.value_col];
+      return v.is_null() ? 0 : v.ToDouble();
+    }
+  }
+  return 0;
+}
+
+/// Dependent non-partitioned views of `base_table`.
+std::vector<const SequenceViewDef*> DependentViews(
+    const ViewManager& views, const std::string& base_table) {
+  std::vector<const SequenceViewDef*> out;
+  for (const auto& v : views.views()) {
+    if (EqualsIgnoreCase(v->base_table, base_table) &&
+        v->partition_columns.empty()) {
+      out.push_back(v.get());
+    }
+  }
+  return out;
+}
+
+/// Writes `val` into the view row at `pos` (via the pos index when
+/// available). Returns rows written (0 when the position is outside the
+/// view's stored range).
+Result<size_t> WriteViewValue(Table* content, int64_t pos, double val) {
+  // For simple views pos is the second-to-last column and val the last
+  // (partitioned views are refreshed wholesale, not routed here).
+  const size_t pos_col = content->schema().NumColumns() - 2;
+  const size_t val_col = content->schema().NumColumns() - 1;
+  OrderedIndex* pos_index = content->GetIndexOnColumn(pos_col);
+  size_t written = 0;
+  if (pos_index != nullptr) {
+    for (size_t r : pos_index->Lookup(Value::Int(pos))) {
+      RFV_RETURN_IF_ERROR(content->UpdateCell(r, val_col, Value::Double(val)));
+      ++written;
+    }
+  } else {
+    for (size_t r = 0; r < content->NumRows(); ++r) {
+      const Value& p = content->row(r)[pos_col];
+      if (!p.is_null() && p.AsInt() == pos) {
+        RFV_RETURN_IF_ERROR(
+            content->UpdateCell(r, val_col, Value::Double(val)));
+        ++written;
+      }
+    }
+  }
+  return written;
+}
+
+/// Adds `delta` to the view rows with pos in [lo, hi]. Uses the pos
+/// index; UpdateCell marks indexes dirty, so collect row ids first.
+Result<size_t> AddDeltaRange(Table* content, int64_t lo, int64_t hi,
+                             double delta) {
+  const size_t pos_col = content->schema().NumColumns() - 2;
+  const size_t val_col = content->schema().NumColumns() - 1;
+  std::vector<size_t> row_ids;
+  OrderedIndex* pos_index = content->GetIndexOnColumn(pos_col);
+  if (pos_index != nullptr) {
+    row_ids = pos_index->LookupRange(Value::Int(lo), true, Value::Int(hi),
+                                     true);
+  } else {
+    for (size_t r = 0; r < content->NumRows(); ++r) {
+      const Value& p = content->row(r)[pos_col];
+      if (!p.is_null() && p.AsInt() >= lo && p.AsInt() <= hi) {
+        row_ids.push_back(r);
+      }
+    }
+  }
+  for (size_t r : row_ids) {
+    const Value& old = content->row(r)[val_col];
+    const double base = old.is_null() ? 0 : old.ToDouble();
+    RFV_RETURN_IF_ERROR(
+        content->UpdateCell(r, val_col, Value::Double(base + delta)));
+  }
+  return row_ids.size();
+}
+
+}  // namespace
+
+Result<size_t> PropagateBaseUpdate(ViewManager* views,
+                                   const std::string& base_table,
+                                   int64_t position, double new_value) {
+  const std::vector<const SequenceViewDef*> dependents =
+      DependentViews(*views, base_table);
+  size_t touched = 0;
+  double old_value = 0;
+  bool base_updated = false;
+
+  for (const SequenceViewDef* def : dependents) {
+    BaseBinding binding;
+    RFV_ASSIGN_OR_RETURN(binding, BindBase(views->catalog(), *def));
+    if (!base_updated) {
+      size_t row_id = 0;
+      RFV_ASSIGN_OR_RETURN(row_id, FindBaseRow(binding, position));
+      const Value& old = binding.base->row(row_id)[binding.value_col];
+      old_value = old.is_null() ? 0 : old.ToDouble();
+      RFV_RETURN_IF_ERROR(binding.base->UpdateCell(
+          row_id, binding.value_col, Value::Double(new_value)));
+      base_updated = true;
+    }
+    Result<Table*> content = views->catalog()->GetTable(def->view_name);
+    if (!content.ok()) return content.status();
+
+    if (def->fn == SeqAggFn::kSum) {
+      const double delta = new_value - old_value;
+      if (def->window.is_cumulative()) {
+        size_t w = 0;
+        RFV_ASSIGN_OR_RETURN(
+            w, AddDeltaRange(*content, position, def->n, delta));
+        touched += w;
+      } else {
+        size_t w = 0;
+        RFV_ASSIGN_OR_RETURN(
+            w, AddDeltaRange(*content, position - def->window.h(),
+                             position + def->window.l(), delta));
+        touched += w;
+      }
+    } else {
+      // MIN/MAX: recompute the affected windows from base data with a
+      // monotonic deque over the span they cover.
+      if (def->window.is_cumulative()) {
+        RFV_RETURN_IF_ERROR(views->RefreshView(def->view_name));
+        touched += static_cast<size_t>((*content)->NumRows());
+        continue;
+      }
+      const int64_t l = def->window.l();
+      const int64_t h = def->window.h();
+      const int64_t from = position - h;
+      const int64_t to = position + l;
+      const bool is_min = def->fn == SeqAggFn::kMin;
+      std::deque<std::pair<int64_t, double>> mono;
+      // MIN/MAX windows clip to [1, n] (see sequence/compute.cc).
+      int64_t next = std::max<int64_t>(from - l, 1);
+      for (int64_t k = from; k <= to; ++k) {
+        const int64_t hi = std::min(k + h, def->n);
+        for (; next <= hi; ++next) {
+          const double v = BaseValueAt(binding, next);
+          while (!mono.empty() && (is_min ? mono.back().second >= v
+                                          : mono.back().second <= v)) {
+            mono.pop_back();
+          }
+          mono.emplace_back(next, v);
+        }
+        while (!mono.empty() && mono.front().first < k - l) mono.pop_front();
+        size_t w = 0;
+        RFV_ASSIGN_OR_RETURN(
+            w, WriteViewValue(*content, k,
+                              mono.empty() ? 0 : mono.front().second));
+        touched += w;
+      }
+    }
+  }
+  if (!base_updated) {
+    return Status::NotFound(
+        "no dependent sequence views for table " + base_table +
+        " (update the base table directly via SQL)");
+  }
+  return touched;
+}
+
+Result<size_t> PropagateBaseInsert(ViewManager* views,
+                                   const std::string& base_table,
+                                   int64_t position, double value) {
+  const std::vector<const SequenceViewDef*> dependents =
+      DependentViews(*views, base_table);
+  if (dependents.empty()) {
+    return Status::NotFound("no dependent sequence views for " + base_table);
+  }
+  BaseBinding binding;
+  RFV_ASSIGN_OR_RETURN(binding, BindBase(views->catalog(), *dependents[0]));
+  if (binding.base->schema().NumColumns() != 2) {
+    return Status::NotSupported(
+        "positional insert requires a two-column (pos, val) base table");
+  }
+  // Shift positions >= position up by one, then insert.
+  for (size_t r = 0; r < binding.base->NumRows(); ++r) {
+    const Value& p = binding.base->row(r)[binding.order_col];
+    if (!p.is_null() && p.AsInt() >= position) {
+      RFV_RETURN_IF_ERROR(binding.base->UpdateCell(
+          r, binding.order_col, Value::Int(p.AsInt() + 1)));
+    }
+  }
+  Row row;
+  row.Append(Value::Null());
+  row.Append(Value::Null());
+  row[binding.order_col] = Value::Int(position);
+  row[binding.value_col] = Value::Double(value);
+  RFV_RETURN_IF_ERROR(binding.base->Insert(std::move(row)));
+
+  size_t touched = 0;
+  for (const SequenceViewDef* def : dependents) {
+    RFV_RETURN_IF_ERROR(views->RefreshView(def->view_name));
+    Result<Table*> content = views->catalog()->GetTable(def->view_name);
+    if (!content.ok()) return content.status();
+    touched += static_cast<size_t>((*content)->NumRows());
+  }
+  return touched;
+}
+
+Result<size_t> PropagateBaseDelete(ViewManager* views,
+                                   const std::string& base_table,
+                                   int64_t position) {
+  const std::vector<const SequenceViewDef*> dependents =
+      DependentViews(*views, base_table);
+  if (dependents.empty()) {
+    return Status::NotFound("no dependent sequence views for " + base_table);
+  }
+  BaseBinding binding;
+  RFV_ASSIGN_OR_RETURN(binding, BindBase(views->catalog(), *dependents[0]));
+  size_t row_id = 0;
+  RFV_ASSIGN_OR_RETURN(row_id, FindBaseRow(binding, position));
+  RFV_RETURN_IF_ERROR(binding.base->DeleteRow(row_id));
+  for (size_t r = 0; r < binding.base->NumRows(); ++r) {
+    const Value& p = binding.base->row(r)[binding.order_col];
+    if (!p.is_null() && p.AsInt() > position) {
+      RFV_RETURN_IF_ERROR(binding.base->UpdateCell(
+          r, binding.order_col, Value::Int(p.AsInt() - 1)));
+    }
+  }
+  size_t touched = 0;
+  for (const SequenceViewDef* def : dependents) {
+    RFV_RETURN_IF_ERROR(views->RefreshView(def->view_name));
+    Result<Table*> content = views->catalog()->GetTable(def->view_name);
+    if (!content.ok()) return content.status();
+    touched += static_cast<size_t>((*content)->NumRows());
+  }
+  return touched;
+}
+
+}  // namespace rfv

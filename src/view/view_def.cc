@@ -1,0 +1,21 @@
+#include "view/view_def.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace rfv {
+
+std::string SequenceViewDef::ToString() const {
+  std::ostringstream os;
+  os << view_name << ": " << SeqAggFnName(fn) << "(" << value_column << ")"
+     << " OVER (";
+  if (!partition_columns.empty()) {
+    os << "PARTITION BY " << Join(partition_columns, ", ") << " ";
+  }
+  os << "ORDER BY " << order_column << " " << window.ToString() << ") FROM "
+     << base_table << ", n=" << n << (indexed ? ", indexed" : "");
+  return os.str();
+}
+
+}  // namespace rfv

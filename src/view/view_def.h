@@ -1,0 +1,52 @@
+#ifndef RFVIEW_VIEW_VIEW_DEF_H_
+#define RFVIEW_VIEW_VIEW_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "sequence/window_spec.h"
+
+namespace rfv {
+
+/// Metadata of a materialized reporting-function (sequence) view.
+///
+/// The view's *content* is an ordinary catalog table named `view_name`
+/// with schema
+///   [partition columns...,] pos INTEGER, val DOUBLE
+/// holding the *complete* sequence (header positions -h+1..0 and trailer
+/// n+1..n+l included, per partition when partitioned) — completeness is
+/// the derivability prerequisite of paper §3.2/§6.2. The *metadata* here
+/// is what the rewriter matches incoming queries against.
+struct SequenceViewDef {
+  std::string view_name;
+
+  /// Source table and columns.
+  std::string base_table;
+  std::string value_column;   ///< aggregated measure column
+  std::string order_column;   ///< dense 1..n position column (per partition)
+  std::vector<std::string> partition_columns;  ///< empty = simple sequence
+
+  SeqAggFn fn = SeqAggFn::kSum;
+  WindowSpec window = WindowSpec::Cumulative();
+
+  /// Number of raw positions n (largest partition for partitioned
+  /// views; per-partition sizes live in the content table).
+  int64_t n = 0;
+
+  /// Whether an ordered index on `pos` was created ("with primary key
+  /// index" in the paper's experiments).
+  bool indexed = true;
+
+  /// True for views derived from *other views* by the §6 reductions
+  /// (view/reduction.h). Derived views live over a synthetic position
+  /// space (concatenated partitions / collapsed ordering blocks), so
+  /// they are excluded from base-table query rewriting and cannot be
+  /// refreshed from the base table.
+  bool derived = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_VIEW_VIEW_DEF_H_

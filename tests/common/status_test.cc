@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::TypeError("").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::NotDerivable("").code(), StatusCode::kNotDerivable);
+  EXPECT_EQ(Status::NotSupported("").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::ExecutionError("").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  RFV_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainTwice(int x) {
+  int once = 0;
+  RFV_ASSIGN_OR_RETURN(once, DoubleIfPositive(x));
+  int twice = 0;
+  RFV_ASSIGN_OR_RETURN(twice, DoubleIfPositive(once));
+  return twice;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_FALSE(helpers::DoubleIfPositive(-1).ok());
+  EXPECT_EQ(helpers::DoubleIfPositive(3).value(), 6);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnChains) {
+  EXPECT_EQ(helpers::ChainTwice(2).value(), 8);
+  EXPECT_FALSE(helpers::ChainTwice(-2).ok());
+}
+
+}  // namespace
+}  // namespace rfv

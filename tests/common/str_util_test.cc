@@ -1,0 +1,29 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+TEST(StrUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MixedCase123_x"), "mixedcase123_x");
+  EXPECT_EQ(ToUpper("MixedCase123_x"), "MIXEDCASE123_X");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_TRUE(EqualsIgnoreCase("c_DATE", "C_date"));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " AND "), "a AND b AND c");
+}
+
+}  // namespace
+}  // namespace rfv

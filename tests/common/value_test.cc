@@ -1,0 +1,105 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int(42).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.25).AsDouble(), 1.25);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+}
+
+TEST(ValueTest, ToDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).ToDouble(), 3.5);
+}
+
+TEST(ValueTest, IsNumeric) {
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+  EXPECT_FALSE(Value::Bool(true).is_numeric());
+  EXPECT_FALSE(Value::Null().is_numeric());
+}
+
+TEST(ValueTest, CompareIntInt) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Int(5)), 0);
+  EXPECT_GT(Value::Int(9).Compare(Value::Int(-9)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("").Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-1000)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::String("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CrossTypeRankOrdering) {
+  // bool < numeric < string (total order for sorting only).
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, EqualityOperators) {
+  EXPECT_TRUE(Value::Int(2) == Value::Double(2.0));
+  EXPECT_TRUE(Value::Int(2) != Value::Int(3));
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value::Double(-0.0).Hash(), Value::Double(0.0).Hash());
+  EXPECT_EQ(Value::Double(-0.0).Compare(Value::Int(0)), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("ab").ToString(), "'ab'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INTEGER");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "VARCHAR");
+  EXPECT_STREQ(DataTypeName(DataType::kBool), "BOOLEAN");
+  EXPECT_STREQ(DataTypeName(DataType::kNull), "NULL");
+}
+
+}  // namespace
+}  // namespace rfv

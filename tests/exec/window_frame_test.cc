@@ -1,0 +1,101 @@
+// Direct unit tests for the SlidingAggregate frame engine — the
+// realization of the paper's §2.2 pipelined computation scheme.
+
+#include "exec/window_frame.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+TEST(SlidingAggregateTest, SumPushPop) {
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kInt64);
+  agg.Push(Value::Int(10), 0);
+  agg.Push(Value::Int(20), 1);
+  agg.Push(Value::Int(30), 2);
+  EXPECT_EQ(agg.Current(), Value::Int(60));
+  agg.PopBefore(1);
+  EXPECT_EQ(agg.Current(), Value::Int(50));
+  agg.PopBefore(3);
+  EXPECT_TRUE(agg.Current().is_null());  // empty SUM
+}
+
+TEST(SlidingAggregateTest, SumDoubleMode) {
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kDouble);
+  agg.Push(Value::Double(1.5), 0);
+  agg.Push(Value::Double(2.25), 1);
+  EXPECT_EQ(agg.Current(), Value::Double(3.75));
+}
+
+TEST(SlidingAggregateTest, SumIgnoresNulls) {
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kInt64);
+  agg.Push(Value::Int(5), 0);
+  agg.Push(Value::Null(), 1);
+  EXPECT_EQ(agg.Current(), Value::Int(5));
+  agg.PopBefore(1);
+  EXPECT_TRUE(agg.Current().is_null());  // only the NULL remains
+}
+
+TEST(SlidingAggregateTest, CountStarVsCountValue) {
+  SlidingAggregate star(AggFn::kCount, true, DataType::kInt64);
+  SlidingAggregate value(AggFn::kCount, false, DataType::kInt64);
+  for (const auto& [v, pos] :
+       {std::pair<Value, size_t>{Value::Int(1), 0},
+        std::pair<Value, size_t>{Value::Null(), 1},
+        std::pair<Value, size_t>{Value::Int(3), 2}}) {
+    star.Push(v, pos);
+    value.Push(v, pos);
+  }
+  EXPECT_EQ(star.Current(), Value::Int(3));
+  EXPECT_EQ(value.Current(), Value::Int(2));
+  star.PopBefore(1);
+  EXPECT_EQ(star.Current(), Value::Int(2));
+}
+
+TEST(SlidingAggregateTest, AvgOverNonNull) {
+  SlidingAggregate agg(AggFn::kAvg, false, DataType::kDouble);
+  agg.Push(Value::Int(10), 0);
+  agg.Push(Value::Null(), 1);
+  agg.Push(Value::Int(20), 2);
+  EXPECT_EQ(agg.Current(), Value::Double(15));
+}
+
+TEST(SlidingAggregateTest, MinMonotonicDeque) {
+  SlidingAggregate agg(AggFn::kMin, false, DataType::kDouble);
+  agg.Push(Value::Double(5), 0);
+  agg.Push(Value::Double(3), 1);
+  agg.Push(Value::Double(4), 2);
+  EXPECT_EQ(agg.Current(), Value::Double(3));
+  agg.PopBefore(2);  // drop 5 and 3
+  EXPECT_EQ(agg.Current(), Value::Double(4));
+}
+
+TEST(SlidingAggregateTest, MaxTracksAfterExtremeLeaves) {
+  SlidingAggregate agg(AggFn::kMax, false, DataType::kInt64);
+  agg.Push(Value::Int(9), 0);
+  agg.Push(Value::Int(2), 1);
+  agg.Push(Value::Int(7), 2);
+  EXPECT_EQ(agg.Current(), Value::Int(9));
+  agg.PopBefore(1);
+  EXPECT_EQ(agg.Current(), Value::Int(7));  // 2 was dominated by 7
+}
+
+TEST(SlidingAggregateTest, ResetClearsState) {
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kInt64);
+  agg.Push(Value::Int(5), 0);
+  agg.Reset();
+  EXPECT_TRUE(agg.Current().is_null());
+  agg.Push(Value::Int(7), 10);
+  EXPECT_EQ(agg.Current(), Value::Int(7));
+}
+
+TEST(SlidingAggregateTest, MinIgnoresNullPushes) {
+  SlidingAggregate agg(AggFn::kMin, false, DataType::kDouble);
+  agg.Push(Value::Null(), 0);
+  EXPECT_TRUE(agg.Current().is_null());
+  agg.Push(Value::Double(2), 1);
+  EXPECT_EQ(agg.Current(), Value::Double(2));
+}
+
+}  // namespace
+}  // namespace rfv

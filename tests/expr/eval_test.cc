@@ -1,0 +1,255 @@
+#include "expr/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+
+namespace rfv {
+namespace {
+
+Value Eval(const ExprPtr& e, const Row& row = Row()) {
+  Result<Value> r = Evaluator::Eval(*e, row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+TEST(EvalTest, Literals) {
+  EXPECT_EQ(Eval(eb::Int(5)), Value::Int(5));
+  EXPECT_EQ(Eval(eb::Dbl(2.5)), Value::Double(2.5));
+  EXPECT_EQ(Eval(eb::Str("x")), Value::String("x"));
+  EXPECT_TRUE(Eval(eb::Null()).is_null());
+}
+
+TEST(EvalTest, ColumnRef) {
+  const Row row({Value::Int(7), Value::String("s")});
+  EXPECT_EQ(Eval(eb::Col(0, DataType::kInt64), row), Value::Int(7));
+  EXPECT_EQ(Eval(eb::Col(1, DataType::kString), row), Value::String("s"));
+}
+
+TEST(EvalTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval(eb::Add(eb::Int(2), eb::Int(3))), Value::Int(5));
+  EXPECT_EQ(Eval(eb::Sub(eb::Int(2), eb::Int(3))), Value::Int(-1));
+  EXPECT_EQ(Eval(eb::Mul(eb::Int(4), eb::Int(3))), Value::Int(12));
+  EXPECT_EQ(Eval(eb::Binary(BinaryOp::kDiv, eb::Int(7), eb::Int(2))),
+            Value::Int(3));  // truncating integer division
+}
+
+TEST(EvalTest, MixedArithmeticPromotesToDouble) {
+  EXPECT_EQ(Eval(eb::Add(eb::Int(2), eb::Dbl(0.5))), Value::Double(2.5));
+  EXPECT_EQ(Eval(eb::Binary(BinaryOp::kDiv, eb::Dbl(7), eb::Int(2))),
+            Value::Double(3.5));
+}
+
+TEST(EvalTest, DivisionByZeroIsExecutionError) {
+  const Result<Value> r =
+      Evaluator::Eval(*eb::Binary(BinaryOp::kDiv, eb::Int(1), eb::Int(0)),
+                      Row());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(EvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(Eval(eb::Add(eb::Int(1), eb::Null())).is_null());
+  EXPECT_TRUE(Eval(eb::Unary(UnaryOp::kNeg, eb::Null())).is_null());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(Eval(eb::Lt(eb::Int(1), eb::Int(2))), Value::Bool(true));
+  EXPECT_EQ(Eval(eb::Ge(eb::Int(1), eb::Int(2))), Value::Bool(false));
+  EXPECT_EQ(Eval(eb::Eq(eb::Str("a"), eb::Str("a"))), Value::Bool(true));
+  EXPECT_EQ(Eval(eb::Binary(BinaryOp::kNe, eb::Int(1), eb::Dbl(1.0))),
+            Value::Bool(false));
+}
+
+TEST(EvalTest, ComparisonWithNullIsNull) {
+  EXPECT_TRUE(Eval(eb::Eq(eb::Null(), eb::Int(1))).is_null());
+  EXPECT_TRUE(Eval(eb::Lt(eb::Int(1), eb::Null())).is_null());
+}
+
+TEST(EvalTest, KleeneAnd) {
+  const ExprPtr t = eb::Lit(Value::Bool(true));
+  EXPECT_EQ(Eval(eb::And(t->Clone(), eb::Lit(Value::Bool(false)))),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(eb::And(eb::Null(), eb::Lit(Value::Bool(false)))),
+            Value::Bool(false));  // NULL AND FALSE = FALSE
+  EXPECT_TRUE(Eval(eb::And(eb::Null(), t->Clone())).is_null());
+}
+
+TEST(EvalTest, KleeneOr) {
+  EXPECT_EQ(Eval(eb::Or(eb::Null(), eb::Lit(Value::Bool(true)))),
+            Value::Bool(true));  // NULL OR TRUE = TRUE
+  EXPECT_TRUE(Eval(eb::Or(eb::Null(), eb::Lit(Value::Bool(false)))).is_null());
+}
+
+TEST(EvalTest, NotOperator) {
+  EXPECT_EQ(Eval(eb::Unary(UnaryOp::kNot, eb::Lit(Value::Bool(false)))),
+            Value::Bool(true));
+  EXPECT_TRUE(Eval(eb::Unary(UnaryOp::kNot, eb::Null())).is_null());
+}
+
+TEST(EvalTest, CaseWhen) {
+  // CASE WHEN 1 < 2 THEN 'yes' ELSE 'no' END
+  EXPECT_EQ(Eval(eb::CaseWhen(eb::Lt(eb::Int(1), eb::Int(2)), eb::Str("yes"),
+                              eb::Str("no"))),
+            Value::String("yes"));
+  EXPECT_EQ(Eval(eb::CaseWhen(eb::Lt(eb::Int(3), eb::Int(2)), eb::Str("yes"),
+                              eb::Str("no"))),
+            Value::String("no"));
+}
+
+TEST(EvalTest, CaseWithoutElseYieldsNull) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  e->children.push_back(eb::Lit(Value::Bool(false)));
+  e->children.push_back(eb::Int(1));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+TEST(EvalTest, CaseNullConditionIsNotSatisfied) {
+  EXPECT_EQ(Eval(eb::CaseWhen(eb::Null(), eb::Int(1), eb::Int(2))),
+            Value::Int(2));
+}
+
+TEST(EvalTest, ModIsFlooredModulo) {
+  EXPECT_EQ(Eval(eb::Mod(eb::Int(7), eb::Int(4))), Value::Int(3));
+  // Key property for the paper's congruence-class patterns: negative
+  // header positions stay in their class.
+  EXPECT_EQ(Eval(eb::Mod(eb::Int(-1), eb::Int(4))), Value::Int(3));
+  EXPECT_EQ(Eval(eb::Mod(eb::Int(-5), eb::Int(4))), Value::Int(3));
+  EXPECT_EQ(Eval(eb::Mod(eb::Int(-4), eb::Int(4))), Value::Int(0));
+}
+
+TEST(EvalTest, ModByZeroIsExecutionError) {
+  const Result<Value> r =
+      Evaluator::Eval(*eb::Mod(eb::Int(1), eb::Int(0)), Row());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(EvalTest, Coalesce) {
+  EXPECT_EQ(Eval(eb::Coalesce(eb::Null(), eb::Int(5))), Value::Int(5));
+  EXPECT_EQ(Eval(eb::Coalesce(eb::Int(1), eb::Int(5))), Value::Int(1));
+  EXPECT_TRUE(Eval(eb::Coalesce(eb::Null(), eb::Null())).is_null());
+}
+
+TEST(EvalTest, DateParts) {
+  std::vector<ExprPtr> args;
+  args.push_back(eb::Int(20010315));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kYear, std::move(args), DataType::kInt64)),
+            Value::Int(2001));
+  args.clear();
+  args.push_back(eb::Int(20010315));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kMonth, std::move(args), DataType::kInt64)),
+            Value::Int(3));
+  args.clear();
+  args.push_back(eb::Int(20010315));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kDay, std::move(args), DataType::kInt64)),
+            Value::Int(15));
+}
+
+TEST(EvalTest, LeastGreatest) {
+  std::vector<ExprPtr> args;
+  args.push_back(eb::Int(4));
+  args.push_back(eb::Int(9));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kMin2, std::move(args), DataType::kInt64)),
+            Value::Int(4));
+  args.clear();
+  args.push_back(eb::Int(4));
+  args.push_back(eb::Int(9));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kMax2, std::move(args), DataType::kInt64)),
+            Value::Int(9));
+}
+
+TEST(EvalTest, AbsFunction) {
+  std::vector<ExprPtr> args;
+  args.push_back(eb::Int(-5));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kAbs, std::move(args), DataType::kInt64)),
+            Value::Int(5));
+  args.clear();
+  args.push_back(eb::Dbl(-2.5));
+  EXPECT_EQ(Eval(eb::Fn(ScalarFn::kAbs, std::move(args), DataType::kDouble)),
+            Value::Double(2.5));
+}
+
+TEST(EvalTest, InPredicate) {
+  std::vector<ExprPtr> candidates;
+  candidates.push_back(eb::Int(1));
+  candidates.push_back(eb::Int(3));
+  EXPECT_EQ(Eval(eb::In(eb::Int(3), std::move(candidates))),
+            Value::Bool(true));
+  candidates.clear();
+  candidates.push_back(eb::Int(1));
+  EXPECT_EQ(Eval(eb::In(eb::Int(3), std::move(candidates))),
+            Value::Bool(false));
+}
+
+TEST(EvalTest, InWithNullCandidatesFollowsSql) {
+  // 3 IN (1, NULL) is NULL; 1 IN (1, NULL) is TRUE.
+  std::vector<ExprPtr> candidates;
+  candidates.push_back(eb::Int(1));
+  candidates.push_back(eb::Null());
+  EXPECT_TRUE(Eval(eb::In(eb::Int(3), std::move(candidates))).is_null());
+  candidates.clear();
+  candidates.push_back(eb::Int(1));
+  candidates.push_back(eb::Null());
+  EXPECT_EQ(Eval(eb::In(eb::Int(1), std::move(candidates))),
+            Value::Bool(true));
+}
+
+TEST(EvalTest, Between) {
+  EXPECT_EQ(Eval(eb::Between(eb::Int(5), eb::Int(1), eb::Int(9))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(eb::Between(eb::Int(0), eb::Int(1), eb::Int(9))),
+            Value::Bool(false));
+  EXPECT_TRUE(
+      Eval(eb::Between(eb::Int(5), eb::Null(), eb::Int(9))).is_null());
+}
+
+TEST(EvalTest, IsNull) {
+  EXPECT_EQ(Eval(eb::IsNull(eb::Null())), Value::Bool(true));
+  EXPECT_EQ(Eval(eb::IsNull(eb::Int(1))), Value::Bool(false));
+  EXPECT_EQ(Eval(eb::IsNull(eb::Null(), /*negated=*/true)),
+            Value::Bool(false));
+}
+
+TEST(EvalTest, EvalPredicateMapsNullToFalse) {
+  const Result<bool> r =
+      Evaluator::EvalPredicate(*eb::Eq(eb::Null(), eb::Int(1)), Row());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(EvalTest, EvalPredicateRejectsNonBool) {
+  const Result<bool> r = Evaluator::EvalPredicate(*eb::Int(1), Row());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(EvalTest, ShortCircuitSkipsErrors) {
+  // FALSE AND (1/0 = 1) must not evaluate the division.
+  ExprPtr division_error =
+      eb::Eq(eb::Binary(BinaryOp::kDiv, eb::Int(1), eb::Int(0)), eb::Int(1));
+  const Result<Value> r = Evaluator::Eval(
+      *eb::And(eb::Lit(Value::Bool(false)), std::move(division_error)),
+      Row());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Bool(false));
+}
+
+TEST(EvalTest, ExprCloneEvaluatesIdentically) {
+  ExprPtr original = eb::CaseWhen(
+      eb::Lt(eb::Col(0, DataType::kInt64), eb::Int(10)),
+      eb::Mod(eb::Col(0, DataType::kInt64), eb::Int(3)), eb::Int(-1));
+  ExprPtr clone = original->Clone();
+  const Row row({Value::Int(7)});
+  EXPECT_EQ(Eval(original, row), Eval(clone, row));
+}
+
+TEST(EvalTest, ExprToString) {
+  EXPECT_EQ(eb::Add(eb::Int(1), eb::Int(2))->ToString(), "(1 + 2)");
+  EXPECT_EQ(eb::Mod(eb::Int(7), eb::Int(3))->ToString(), "MOD(7, 3)");
+  EXPECT_EQ(eb::IsNull(eb::Int(1))->ToString(), "1 IS NULL");
+}
+
+}  // namespace
+}  // namespace rfv

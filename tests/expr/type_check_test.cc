@@ -1,0 +1,169 @@
+#include "expr/type_check.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+
+namespace rfv {
+namespace {
+
+Schema TestSchema() {
+  return Schema({ColumnDef("i", DataType::kInt64),
+                 ColumnDef("d", DataType::kDouble),
+                 ColumnDef("s", DataType::kString),
+                 ColumnDef("b", DataType::kBool)});
+}
+
+DataType CheckedType(ExprPtr e) {
+  const Schema schema = TestSchema();
+  const Status s = CheckTypes(e.get(), schema);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return e->type;
+}
+
+Status CheckError(ExprPtr e) {
+  const Schema schema = TestSchema();
+  return CheckTypes(e.get(), schema);
+}
+
+TEST(TypeCheckTest, ColumnTypesFromSchema) {
+  EXPECT_EQ(CheckedType(eb::Col(0, DataType::kNull)), DataType::kInt64);
+  EXPECT_EQ(CheckedType(eb::Col(1, DataType::kNull)), DataType::kDouble);
+  EXPECT_EQ(CheckedType(eb::Col(2, DataType::kNull)), DataType::kString);
+}
+
+TEST(TypeCheckTest, ColumnOutOfRangeIsInternal) {
+  EXPECT_EQ(CheckError(eb::Col(99, DataType::kNull)).code(),
+            StatusCode::kInternal);
+}
+
+TEST(TypeCheckTest, ArithmeticTypes) {
+  EXPECT_EQ(CheckedType(eb::Add(eb::Col(0, DataType::kNull),
+                                eb::Col(0, DataType::kNull))),
+            DataType::kInt64);
+  EXPECT_EQ(CheckedType(eb::Add(eb::Col(0, DataType::kNull),
+                                eb::Col(1, DataType::kNull))),
+            DataType::kDouble);
+}
+
+TEST(TypeCheckTest, ArithmeticOnStringFails) {
+  EXPECT_EQ(CheckError(eb::Add(eb::Col(2, DataType::kNull), eb::Int(1)))
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, ComparisonYieldsBool) {
+  EXPECT_EQ(CheckedType(eb::Lt(eb::Col(0, DataType::kNull), eb::Dbl(1.5))),
+            DataType::kBool);
+  EXPECT_EQ(CheckedType(eb::Eq(eb::Col(2, DataType::kNull), eb::Str("x"))),
+            DataType::kBool);
+}
+
+TEST(TypeCheckTest, IncomparableTypesFail) {
+  EXPECT_EQ(
+      CheckError(eb::Eq(eb::Col(2, DataType::kNull), eb::Int(1))).code(),
+      StatusCode::kTypeError);
+  EXPECT_EQ(
+      CheckError(eb::Lt(eb::Col(3, DataType::kNull), eb::Int(1))).code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, NullComparableWithEverything) {
+  EXPECT_EQ(CheckedType(eb::Eq(eb::Null(), eb::Col(2, DataType::kNull))),
+            DataType::kBool);
+}
+
+TEST(TypeCheckTest, LogicRequiresBool) {
+  EXPECT_EQ(CheckedType(eb::And(eb::Col(3, DataType::kNull),
+                                eb::Lit(Value::Bool(true)))),
+            DataType::kBool);
+  EXPECT_EQ(CheckError(eb::And(eb::Col(0, DataType::kNull),
+                               eb::Lit(Value::Bool(true))))
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(CheckError(eb::Unary(UnaryOp::kNot, eb::Col(0, DataType::kNull)))
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, CaseUnifiesNumericBranches) {
+  EXPECT_EQ(CheckedType(eb::CaseWhen(eb::Lit(Value::Bool(true)),
+                                     eb::Col(0, DataType::kNull),
+                                     eb::Col(1, DataType::kNull))),
+            DataType::kDouble);
+}
+
+TEST(TypeCheckTest, CaseIncompatibleBranchesFail) {
+  EXPECT_EQ(CheckError(eb::CaseWhen(eb::Lit(Value::Bool(true)),
+                                    eb::Col(0, DataType::kNull),
+                                    eb::Col(2, DataType::kNull)))
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, CaseConditionMustBeBool) {
+  EXPECT_EQ(
+      CheckError(eb::CaseWhen(eb::Int(1), eb::Int(2), eb::Int(3))).code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, ModRequiresIntegers) {
+  EXPECT_EQ(CheckedType(eb::Mod(eb::Col(0, DataType::kNull), eb::Int(4))),
+            DataType::kInt64);
+  EXPECT_EQ(
+      CheckError(eb::Mod(eb::Col(1, DataType::kNull), eb::Int(4))).code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, CoalesceUnifies) {
+  EXPECT_EQ(CheckedType(eb::Coalesce(eb::Null(), eb::Col(1, DataType::kNull))),
+            DataType::kDouble);
+  EXPECT_EQ(
+      CheckError(eb::Coalesce(eb::Col(0, DataType::kNull),
+                              eb::Col(2, DataType::kNull)))
+          .code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, BetweenAndInChecks) {
+  EXPECT_EQ(CheckedType(eb::Between(eb::Col(0, DataType::kNull), eb::Int(1),
+                                    eb::Dbl(9))),
+            DataType::kBool);
+  EXPECT_EQ(CheckError(eb::Between(eb::Col(0, DataType::kNull), eb::Str("a"),
+                                   eb::Int(9)))
+                .code(),
+            StatusCode::kTypeError);
+  std::vector<ExprPtr> candidates;
+  candidates.push_back(eb::Int(1));
+  candidates.push_back(eb::Str("bad"));
+  EXPECT_EQ(CheckError(eb::In(eb::Col(0, DataType::kNull),
+                              std::move(candidates)))
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, DatePartsRequireInt) {
+  std::vector<ExprPtr> args;
+  args.push_back(eb::Col(1, DataType::kNull));
+  EXPECT_EQ(CheckError(eb::Fn(ScalarFn::kMonth, std::move(args),
+                              DataType::kInt64))
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, ArityErrors) {
+  std::vector<ExprPtr> args;
+  args.push_back(eb::Int(1));
+  EXPECT_EQ(
+      CheckError(eb::Fn(ScalarFn::kMod, std::move(args), DataType::kInt64))
+          .code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, IsNullAlwaysBool) {
+  EXPECT_EQ(CheckedType(eb::IsNull(eb::Col(2, DataType::kNull))),
+            DataType::kBool);
+}
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,104 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  Result<std::vector<Token>> r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  const auto tokens = MustTokenize("SELECT c_date FROM t_1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "c_date");
+  EXPECT_EQ(tokens[3].text, "t_1");
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  const auto tokens = MustTokenize("12345");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 12345);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  const auto tokens = MustTokenize("1.5 .25 2e3 1.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.015);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  const auto tokens = MustTokenize("'it''s'");
+  ASSERT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  const Result<std::vector<Token>> r = Tokenize("'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, Operators) {
+  const auto tokens = MustTokenize("= <> != < <= > >= + - * / % ( ) , . ;");
+  const TokenType expected[] = {
+      TokenType::kEq, TokenType::kNe, TokenType::kNe, TokenType::kLt,
+      TokenType::kLe, TokenType::kGt, TokenType::kGe, TokenType::kPlus,
+      TokenType::kMinus, TokenType::kStar, TokenType::kSlash,
+      TokenType::kPercent, TokenType::kLParen, TokenType::kRParen,
+      TokenType::kComma, TokenType::kDot, TokenType::kSemicolon};
+  ASSERT_EQ(tokens.size(), std::size(expected) + 1);
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const auto tokens = MustTokenize("SELECT -- the whole row\n1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, CommentVersusMinus) {
+  const auto tokens = MustTokenize("1 - 2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::kMinus);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  const auto tokens = MustTokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterError) {
+  const Result<std::vector<Token>> r = Tokenize("SELECT @");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LexerTest, DotBetweenIdentifiers) {
+  const auto tokens = MustTokenize("s1.pos");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "s1");
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].text, "pos");
+}
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,234 @@
+#include "plan/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace rfv {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Table*> t = catalog_.CreateTable(
+        "seq", Schema({ColumnDef("pos", DataType::kInt64),
+                       ColumnDef("val", DataType::kDouble)}));
+    ASSERT_TRUE(t.ok());
+    Result<Table*> u = catalog_.CreateTable(
+        "dim", Schema({ColumnDef("id", DataType::kInt64),
+                       ColumnDef("region", DataType::kString)}));
+    ASSERT_TRUE(u.ok());
+  }
+
+  Result<LogicalPlanPtr> Bind(const std::string& sql) {
+    Result<Statement> stmt = Parser::ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(&catalog_);
+    return binder.BindSelect(*stmt->select);
+  }
+
+  LogicalPlanPtr MustBind(const std::string& sql) {
+    Result<LogicalPlanPtr> r = Bind(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n  " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SimpleProjectOverScan) {
+  const LogicalPlanPtr plan = MustBind("SELECT pos, val FROM seq");
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kScan);
+  ASSERT_EQ(plan->schema.NumColumns(), 2u);
+  EXPECT_EQ(plan->schema.column(0).name, "pos");
+  EXPECT_EQ(plan->schema.column(0).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  const LogicalPlanPtr plan = MustBind("SELECT * FROM seq");
+  EXPECT_EQ(plan->schema.NumColumns(), 2u);
+}
+
+TEST_F(BinderTest, QualifiedStarExpansion) {
+  const LogicalPlanPtr plan =
+      MustBind("SELECT s2.* FROM seq s1, seq s2");
+  EXPECT_EQ(plan->schema.NumColumns(), 2u);
+}
+
+TEST_F(BinderTest, UnknownColumnIsBindError) {
+  EXPECT_EQ(Bind("SELECT nope FROM seq").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableIsNotFound) {
+  EXPECT_EQ(Bind("SELECT a FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, AmbiguousColumnAcrossAliases) {
+  EXPECT_EQ(Bind("SELECT pos FROM seq s1, seq s2").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  const LogicalPlanPtr plan = MustBind("SELECT pos FROM seq WHERE val > 1");
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  EXPECT_EQ(Bind("SELECT pos FROM seq WHERE SUM(val) > 1").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, GroupByProducesAggregate) {
+  const LogicalPlanPtr plan =
+      MustBind("SELECT pos, SUM(val), COUNT(*) FROM seq GROUP BY pos");
+  const LogicalPlan* node = plan.get();
+  ASSERT_EQ(node->kind, PlanKind::kProject);
+  node = node->children[0].get();
+  ASSERT_EQ(node->kind, PlanKind::kAggregate);
+  EXPECT_EQ(node->group_by.size(), 1u);
+  EXPECT_EQ(node->aggregates.size(), 2u);
+  EXPECT_TRUE(node->aggregates[1].is_count_star);
+}
+
+TEST_F(BinderTest, AggregateOutputTypes) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT SUM(pos), SUM(val), AVG(pos), COUNT(val), MIN(val) FROM seq "
+      "GROUP BY pos");
+  const LogicalPlan& agg = *plan->children[0];
+  EXPECT_EQ(agg.aggregates[0].output_type, DataType::kInt64);
+  EXPECT_EQ(agg.aggregates[1].output_type, DataType::kDouble);
+  EXPECT_EQ(agg.aggregates[2].output_type, DataType::kDouble);
+  EXPECT_EQ(agg.aggregates[3].output_type, DataType::kInt64);
+  EXPECT_EQ(agg.aggregates[4].output_type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, NonGroupedColumnInSelectRejected) {
+  EXPECT_EQ(Bind("SELECT val, SUM(val) FROM seq GROUP BY pos")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, HavingWithoutGroupingRejected) {
+  EXPECT_EQ(Bind("SELECT pos FROM seq HAVING pos > 1").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, HavingBindsAggregates) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT pos FROM seq GROUP BY pos HAVING SUM(val) > 10");
+  // Project over Filter over Aggregate.
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, PlanKind::kAggregate);
+}
+
+TEST_F(BinderTest, WindowCallProducesWindowNode) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING "
+      "AND 1 FOLLOWING) FROM seq");
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  const LogicalPlan& window = *plan->children[0];
+  ASSERT_EQ(window.kind, PlanKind::kWindow);
+  ASSERT_EQ(window.window_calls.size(), 1u);
+  EXPECT_EQ(window.window_calls[0].frame, WindowFrame::Sliding(1, 1));
+}
+
+TEST_F(BinderTest, WindowDefaultFrameIsCumulative) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT SUM(val) OVER (ORDER BY pos) FROM seq");
+  EXPECT_EQ(plan->children[0]->window_calls[0].frame,
+            WindowFrame::Cumulative());
+}
+
+TEST_F(BinderTest, WindowWithoutOrderIsWholePartition) {
+  const LogicalPlanPtr plan =
+      MustBind("SELECT SUM(val) OVER () FROM seq");
+  EXPECT_EQ(plan->children[0]->window_calls[0].frame,
+            WindowFrame::WholePartition());
+}
+
+TEST_F(BinderTest, MultipleWindowCalls) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT SUM(val) OVER (ORDER BY pos), AVG(val) OVER (PARTITION BY "
+      "pos ORDER BY val DESC) FROM seq");
+  EXPECT_EQ(plan->children[0]->window_calls.size(), 2u);
+  EXPECT_EQ(plan->children[0]->window_calls[1].partition_by.size(), 1u);
+  EXPECT_FALSE(plan->children[0]->window_calls[1].order_by[0].ascending);
+}
+
+TEST_F(BinderTest, WindowInWhereRejected) {
+  EXPECT_EQ(Bind("SELECT pos FROM seq WHERE SUM(val) OVER (ORDER BY pos) "
+                 "> 1")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, MalformedFrameRejected) {
+  EXPECT_EQ(Bind("SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 "
+                 "FOLLOWING AND 2 PRECEDING) FROM seq")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, JoinSchemaConcatenation) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT s.pos, d.region FROM seq s JOIN dim d ON s.pos = d.id");
+  ASSERT_EQ(plan->schema.NumColumns(), 2u);
+  const LogicalPlan& join = *plan->children[0];
+  ASSERT_EQ(join.kind, PlanKind::kJoin);
+  EXPECT_EQ(join.join_type, JoinType::kInner);
+  EXPECT_EQ(join.schema.NumColumns(), 4u);
+}
+
+TEST_F(BinderTest, SubqueryWithAliasScope) {
+  const LogicalPlanPtr plan = MustBind(
+      "SELECT sub.p FROM (SELECT pos AS p FROM seq) sub WHERE sub.p > 1");
+  EXPECT_EQ(plan->schema.NumColumns(), 1u);
+}
+
+TEST_F(BinderTest, UnionAllSchemaArity) {
+  EXPECT_TRUE(Bind("SELECT pos FROM seq UNION ALL SELECT id FROM dim").ok());
+  EXPECT_EQ(Bind("SELECT pos FROM seq UNION ALL SELECT id, region FROM dim")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OrderByAliasOrdinalAndQualified) {
+  EXPECT_TRUE(Bind("SELECT pos AS p FROM seq ORDER BY p").ok());
+  EXPECT_TRUE(Bind("SELECT pos FROM seq ORDER BY 1").ok());
+  EXPECT_FALSE(Bind("SELECT pos FROM seq ORDER BY 5").ok());
+  // Structural fallback: ORDER BY an expression that matches a select
+  // item even though projection renamed it.
+  EXPECT_TRUE(
+      Bind("SELECT s1.pos AS pos FROM seq s1 ORDER BY s1.pos").ok());
+}
+
+TEST_F(BinderTest, LimitNode) {
+  const LogicalPlanPtr plan = MustBind("SELECT pos FROM seq LIMIT 3");
+  EXPECT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->limit, 3);
+}
+
+TEST_F(BinderTest, GroupByExpressionMatching) {
+  // The grouped expression reappears in the select list structurally.
+  EXPECT_TRUE(
+      Bind("SELECT MOD(pos, 4), COUNT(*) FROM seq GROUP BY MOD(pos, 4)")
+          .ok());
+}
+
+TEST_F(BinderTest, TypeErrorSurfaces) {
+  EXPECT_EQ(Bind("SELECT pos + val FROM dim, seq WHERE region > 1")
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace rfv

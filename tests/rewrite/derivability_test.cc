@@ -1,0 +1,176 @@
+#include "rewrite/derivability.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+SequenceViewDef MakeView(const std::string& name, WindowSpec window,
+                         SeqAggFn fn = SeqAggFn::kSum) {
+  SequenceViewDef def;
+  def.view_name = name;
+  def.base_table = "seq";
+  def.value_column = "val";
+  def.order_column = "pos";
+  def.fn = fn;
+  def.window = window;
+  def.n = 100;
+  return def;
+}
+
+SeqQuery MakeQuery(WindowSpec window, SeqAggFn fn = SeqAggFn::kSum) {
+  SeqQuery q;
+  q.base_table = "seq";
+  q.order_column = "pos";
+  q.value_column = "val";
+  q.fn = fn;
+  q.window = window;
+  return q;
+}
+
+TEST(DerivabilityTest, IdenticalWindowIsDirect) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 1));
+  const Result<DerivationChoice> choice =
+      CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(2, 1)));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kDirect);
+}
+
+TEST(DerivabilityTest, CumulativeViewDominatesSlidingQueries) {
+  const SequenceViewDef view = MakeView("v", WindowSpec::Cumulative());
+  const Result<DerivationChoice> choice =
+      CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(5, 3)));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kCumulativeDiff);
+}
+
+TEST(DerivabilityTest, SlidingViewPrefersMaxoa) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 1));
+  const Result<DerivationChoice> choice =
+      CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(3, 1)));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kMaxoa);
+  EXPECT_EQ(choice->maxoa.delta_l, 1);
+  EXPECT_EQ(choice->maxoa.delta_p, 3);
+}
+
+TEST(DerivabilityTest, FallsBackToMinoaWhenMaxoaIneligible) {
+  // Narrowing query: MaxOA requires containment, MinOA does not.
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(3, 2));
+  const Result<DerivationChoice> choice =
+      CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(1, 1)));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kMinoa);
+}
+
+TEST(DerivabilityTest, CumulativeQueryFromSlidingViewUsesMinoa) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 1));
+  const Result<DerivationChoice> choice =
+      CheckDerivability(view, MakeQuery(WindowSpec::Cumulative()));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kMinoa);
+}
+
+TEST(DerivabilityTest, AggregateFunctionMustMatch) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 1), SeqAggFn::kMin);
+  EXPECT_EQ(CheckDerivability(
+                view, MakeQuery(WindowSpec::SlidingUnchecked(3, 1)))
+                .status()
+                .code(),
+            StatusCode::kNotDerivable);
+}
+
+TEST(DerivabilityTest, AvgQueryNeedsSumView) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 1), SeqAggFn::kSum);
+  SeqQuery q = MakeQuery(WindowSpec::SlidingUnchecked(2, 1));
+  q.is_avg = true;
+  const Result<DerivationChoice> choice = CheckDerivability(view, q);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->method, DerivationMethod::kDirect);
+}
+
+TEST(DerivabilityTest, MinMaxCoverWithinLimits) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::SlidingUnchecked(2, 2), SeqAggFn::kMax);
+  const Result<DerivationChoice> ok = CheckDerivability(
+      view, MakeQuery(WindowSpec::SlidingUnchecked(4, 3), SeqAggFn::kMax));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->method, DerivationMethod::kMinMaxCover);
+  // Δl = 3 > h_x = 2 → gap.
+  EXPECT_EQ(CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(
+                                                  5, 2),
+                                              SeqAggFn::kMax))
+                .status()
+                .code(),
+            StatusCode::kNotDerivable);
+}
+
+TEST(DerivabilityTest, RunningMinMaxViewsNotInvertible) {
+  const SequenceViewDef view =
+      MakeView("v", WindowSpec::Cumulative(), SeqAggFn::kMin);
+  EXPECT_EQ(CheckDerivability(view, MakeQuery(WindowSpec::SlidingUnchecked(
+                                                  1, 1),
+                                              SeqAggFn::kMin))
+                .status()
+                .code(),
+            StatusCode::kNotDerivable);
+}
+
+TEST(DerivabilityTest, PartitionedViewsRejectedForSqlPath) {
+  SequenceViewDef view = MakeView("v", WindowSpec::SlidingUnchecked(2, 1));
+  view.partition_columns = {"grp"};
+  EXPECT_EQ(CheckDerivability(
+                view, MakeQuery(WindowSpec::SlidingUnchecked(3, 1)))
+                .status()
+                .code(),
+            StatusCode::kNotDerivable);
+}
+
+TEST(DerivabilityTest, ChooseDerivationPicksBestRank) {
+  const SequenceViewDef sliding =
+      MakeView("vs", WindowSpec::SlidingUnchecked(2, 1));
+  const SequenceViewDef cumulative = MakeView("vc", WindowSpec::Cumulative());
+  const SequenceViewDef exact =
+      MakeView("ve", WindowSpec::SlidingUnchecked(3, 1));
+  const SeqQuery q = MakeQuery(WindowSpec::SlidingUnchecked(3, 1));
+
+  // Exact view wins over everything.
+  {
+    const Result<DerivationChoice> choice =
+        ChooseDerivation({&sliding, &cumulative, &exact}, q);
+    ASSERT_TRUE(choice.ok());
+    EXPECT_EQ(choice->method, DerivationMethod::kDirect);
+    EXPECT_EQ(choice->view, &exact);
+  }
+  // Without it, the cumulative view beats MaxOA.
+  {
+    const Result<DerivationChoice> choice =
+        ChooseDerivation({&sliding, &cumulative}, q);
+    ASSERT_TRUE(choice.ok());
+    EXPECT_EQ(choice->method, DerivationMethod::kCumulativeDiff);
+  }
+  // Sliding-only: MaxOA.
+  {
+    const Result<DerivationChoice> choice = ChooseDerivation({&sliding}, q);
+    ASSERT_TRUE(choice.ok());
+    EXPECT_EQ(choice->method, DerivationMethod::kMaxoa);
+  }
+  // Nothing applicable.
+  EXPECT_EQ(ChooseDerivation({}, q).status().code(),
+            StatusCode::kNotDerivable);
+}
+
+TEST(DerivabilityTest, MethodNames) {
+  EXPECT_STREQ(DerivationMethodName(DerivationMethod::kDirect), "direct");
+  EXPECT_STREQ(DerivationMethodName(DerivationMethod::kMaxoa), "MaxOA");
+  EXPECT_STREQ(DerivationMethodName(DerivationMethod::kMinoa), "MinOA");
+}
+
+}  // namespace
+}  // namespace rfv

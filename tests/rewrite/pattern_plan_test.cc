@@ -1,0 +1,113 @@
+#include "rewrite/pattern_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::CreateSeqTable;
+using testutil::MustExecute;
+
+class PatternPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateSeqTable(db_, 25); }
+  Table* SeqTable() {
+    Result<Table*> t = db_.catalog()->GetTable("seq");
+    EXPECT_TRUE(t.ok());
+    return t.ok() ? *t : nullptr;
+  }
+  Database db_;
+};
+
+TEST_F(PatternPlanTest, NativeWindowPlanMatchesSql) {
+  const Result<LogicalPlanPtr> plan = BuildNativeWindowPlan(
+      SeqTable(), "pos", "val", WindowSpec::SlidingUnchecked(2, 1),
+      AggFn::kSum);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Result<std::vector<Row>> rows = ExecutePlan(**plan);
+  ASSERT_TRUE(rows.ok());
+  const ResultSet sql = MustExecute(
+      db_, "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+           "PRECEDING AND 1 FOLLOWING) FROM seq");
+  ASSERT_EQ(rows->size(), sql.NumRows());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i][0], sql.at(i, 0));
+    EXPECT_EQ((*rows)[i][1], sql.at(i, 1));
+  }
+}
+
+TEST_F(PatternPlanTest, NativeWindowPlanCumulative) {
+  const Result<LogicalPlanPtr> plan = BuildNativeWindowPlan(
+      SeqTable(), "pos", "val", WindowSpec::Cumulative(), AggFn::kSum);
+  ASSERT_TRUE(plan.ok());
+  const Result<std::vector<Row>> rows = ExecutePlan(**plan);
+  ASSERT_TRUE(rows.ok());
+  // Last row = total sum.
+  const ResultSet total = MustExecute(db_, "SELECT SUM(val) FROM seq");
+  EXPECT_EQ(rows->back()[1], total.at(0, 0));
+}
+
+TEST_F(PatternPlanTest, NativeWindowPlanAvgAndMin) {
+  for (const AggFn fn : {AggFn::kAvg, AggFn::kMin}) {
+    const Result<LogicalPlanPtr> plan = BuildNativeWindowPlan(
+        SeqTable(), "pos", "val", WindowSpec::SlidingUnchecked(1, 1), fn);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(ExecutePlan(**plan).ok());
+  }
+}
+
+TEST_F(PatternPlanTest, UnknownColumnRejected) {
+  EXPECT_FALSE(BuildNativeWindowPlan(SeqTable(), "nope", "val",
+                                     WindowSpec::SlidingUnchecked(1, 1),
+                                     AggFn::kSum)
+                   .ok());
+}
+
+TEST_F(PatternPlanTest, ViewReadPlanFiltersBody) {
+  MustExecute(db_,
+              "CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER "
+              "(ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) "
+              "FROM seq");
+  Result<Table*> view = db_.catalog()->GetTable("v");
+  ASSERT_TRUE(view.ok());
+  const Result<LogicalPlanPtr> plan = BuildViewReadPlan(*view, 25);
+  ASSERT_TRUE(plan.ok());
+  const Result<std::vector<Row>> rows = ExecutePlan(**plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 25u);  // header/trailer filtered out
+  EXPECT_EQ((*rows)[0][0], Value::Int(1));
+  EXPECT_EQ(rows->back()[0], Value::Int(25));
+}
+
+TEST_F(PatternPlanTest, ExplainStatementShowsRewrite) {
+  MustExecute(db_,
+              "CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER "
+              "(ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) "
+              "FROM seq");
+  const ResultSet rs = MustExecute(
+      db_,
+      "EXPLAIN SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+      "PRECEDING AND 1 FOLLOWING) FROM seq");
+  ASSERT_GT(rs.NumRows(), 0u);
+  EXPECT_NE(rs.at(0, 0).AsString().find("MaxOA"), std::string::npos);
+}
+
+TEST_F(PatternPlanTest, ExplainWithoutViewsShowsWindowOperator) {
+  const ResultSet rs = MustExecute(
+      db_,
+      "EXPLAIN SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+      "PRECEDING AND 1 FOLLOWING) FROM seq");
+  bool saw_window = false;
+  for (size_t i = 0; i < rs.NumRows(); ++i) {
+    saw_window =
+        saw_window ||
+        rs.at(i, 0).AsString().find("Window(") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_window);
+}
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,171 @@
+#include "sequence/maintain.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "sequence/compute.h"
+
+namespace rfv {
+namespace {
+
+std::vector<SeqValue> RandomData(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-9, 9);
+  std::vector<SeqValue> x(n);
+  for (auto& v : x) v = dist(rng);
+  return x;
+}
+
+bool SeqEquals(const Sequence& a, const Sequence& b) {
+  if (a.n() != b.n() || a.first_pos() != b.first_pos() ||
+      a.last_pos() != b.last_pos()) {
+    return false;
+  }
+  for (int64_t k = a.first_pos(); k <= a.last_pos(); ++k) {
+    if (a.at(k) != b.at(k)) return false;
+  }
+  return true;
+}
+
+TEST(MaintainTest, UpdateTouchesExactlyWPositions) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(2, 1);  // w = 4
+  std::vector<SeqValue> x = RandomData(30, 7);
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  const Result<size_t> touched = MaintainUpdate(&x, &seq, 15, 99);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(*touched, 4u);  // the paper's locality claim: w positions
+  EXPECT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, UpdateAtBoundaryTouchesHeader) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 2);
+  std::vector<SeqValue> x = RandomData(10, 8);
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  // Updating position 1 affects sequence positions [1-2, 1+1] = [-1, 2],
+  // which includes header positions.
+  ASSERT_TRUE(MaintainUpdate(&x, &seq, 1, 42).ok());
+  EXPECT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, UpdateOutOfRangeRejected) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {1, 2, 3};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  EXPECT_EQ(MaintainUpdate(&x, &seq, 0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MaintainUpdate(&x, &seq, 4, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MaintainTest, MaintenanceRequiresCompleteSequence) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {1, 2, 3};
+  Sequence incomplete(spec, SeqAggFn::kSum, 3, 1, {3, 6, 5});
+  EXPECT_EQ(MaintainUpdate(&x, &incomplete, 2, 9).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MaintainTest, InsertShiftsAndGrows) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {1, 2, 3, 4};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  ASSERT_TRUE(MaintainInsert(&x, &seq, 2, 100).ok());
+  EXPECT_EQ(x, std::vector<SeqValue>({1, 100, 2, 3, 4}));
+  EXPECT_EQ(seq.n(), 5);
+  EXPECT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, InsertAppendAtEnd) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(2, 2);
+  std::vector<SeqValue> x = {1, 2, 3};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  ASSERT_TRUE(MaintainInsert(&x, &seq, 4, 7).ok());
+  EXPECT_EQ(x.back(), 7);
+  EXPECT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, DeleteShiftsAndShrinks) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {1, 2, 3, 4};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  ASSERT_TRUE(MaintainDelete(&x, &seq, 2).ok());
+  EXPECT_EQ(x, std::vector<SeqValue>({1, 3, 4}));
+  EXPECT_EQ(seq.n(), 3);
+  EXPECT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, DeleteLastElement) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {5};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  ASSERT_TRUE(MaintainDelete(&x, &seq, 1).ok());
+  EXPECT_TRUE(x.empty());
+  EXPECT_EQ(seq.n(), 0);
+}
+
+TEST(MaintainTest, CumulativeUpdatePropagatesDelta) {
+  std::vector<SeqValue> x = {1, 2, 3, 4};
+  Sequence seq =
+      BuildCompleteSequence(x, WindowSpec::Cumulative(), SeqAggFn::kSum);
+  const Result<size_t> touched = MaintainCumulativeUpdate(&x, &seq, 2, 10);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(*touched, 3u);  // positions 2..4
+  EXPECT_TRUE(SeqEquals(
+      seq, BuildCompleteSequence(x, WindowSpec::Cumulative(), SeqAggFn::kSum)));
+}
+
+TEST(MaintainTest, CumulativeUpdateOnSlidingRejected) {
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(1, 1);
+  std::vector<SeqValue> x = {1, 2};
+  Sequence seq = BuildCompleteSequence(x, spec, SeqAggFn::kSum);
+  EXPECT_EQ(MaintainCumulativeUpdate(&x, &seq, 1, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Randomized property sweep: mixed update/insert/delete streams must
+// leave the incrementally maintained sequence identical to a fresh
+// recomputation, for SUM, MIN and MAX and across window shapes.
+class MaintainSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, SeqAggFn>> {};
+
+TEST_P(MaintainSweep, RandomOperationStreamMatchesRecompute) {
+  const auto& [l, h, fn] = GetParam();
+  if (l + h == 0) GTEST_SKIP();
+  const WindowSpec spec = WindowSpec::SlidingUnchecked(l, h);
+  std::mt19937 rng(91 + l * 13 + h * 7 + static_cast<int>(fn));
+  std::uniform_int_distribution<int> value(-9, 9);
+
+  std::vector<SeqValue> x = RandomData(25, 17);
+  Sequence seq = BuildCompleteSequence(x, spec, fn);
+  for (int step = 0; step < 60; ++step) {
+    const int n = static_cast<int>(x.size());
+    const int op = n == 0 ? 1 : static_cast<int>(rng() % 3);
+    Status status;
+    if (op == 0) {
+      status = MaintainUpdate(&x, &seq, 1 + static_cast<int>(rng() % n),
+                              value(rng))
+                   .status();
+    } else if (op == 1) {
+      status = MaintainInsert(&x, &seq, 1 + static_cast<int>(rng() % (n + 1)),
+                              value(rng))
+                   .status();
+    } else {
+      status =
+          MaintainDelete(&x, &seq, 1 + static_cast<int>(rng() % n)).status();
+    }
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(SeqEquals(seq, BuildCompleteSequence(x, spec, fn)))
+        << "step " << step << " op " << op << " n=" << x.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MaintainSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3), ::testing::Values(0, 1, 2),
+                       ::testing::Values(SeqAggFn::kSum, SeqAggFn::kMin,
+                                         SeqAggFn::kMax)));
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,60 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace rfv {
+namespace {
+
+Schema OneCol() { return Schema({ColumnDef("a", DataType::kInt64)}); }
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  Result<Table*> created = catalog.CreateTable("t", OneCol());
+  ASSERT_TRUE(created.ok());
+  Result<Table*> fetched = catalog.GetTable("t");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*created, *fetched);
+}
+
+TEST(CatalogTest, NamesAreCaseInsensitive) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("MySeq", OneCol()).ok());
+  EXPECT_TRUE(catalog.GetTable("myseq").ok());
+  EXPECT_TRUE(catalog.GetTable("MYSEQ").ok());
+  EXPECT_TRUE(catalog.HasTable("mySeq"));
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneCol()).ok());
+  EXPECT_EQ(catalog.CreateTable("T", OneCol()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingTableIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.DropTable("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropRemoves) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneCol()).ok());
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  // Name is reusable afterwards.
+  EXPECT_TRUE(catalog.CreateTable("t", OneCol()).ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zeta", OneCol()).ok());
+  ASSERT_TRUE(catalog.CreateTable("alpha", OneCol()).ok());
+  const std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace rfv

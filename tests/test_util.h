@@ -1,0 +1,76 @@
+#ifndef RFVIEW_TESTS_TEST_UTIL_H_
+#define RFVIEW_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace rfv {
+namespace testutil {
+
+/// Executes SQL, failing the test on error.
+inline ResultSet MustExecute(Database& db, const std::string& sql) {
+  Result<ResultSet> r = db.Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << "\n  " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ResultSet();
+}
+
+/// True when both result sets have identical values row by row.
+inline bool SameRows(const ResultSet& a, const ResultSet& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    for (size_t c = 0; c < a.schema().NumColumns(); ++c) {
+      if (a.at(i, c) != b.at(i, c)) return false;
+    }
+  }
+  return true;
+}
+
+/// gtest-friendly diff of two result sets.
+inline ::testing::AssertionResult RowsEqual(const ResultSet& a,
+                                            const ResultSet& b) {
+  if (SameRows(a, b)) return ::testing::AssertionSuccess();
+  auto result = ::testing::AssertionFailure();
+  result << "result sets differ: " << a.NumRows() << " vs " << b.NumRows()
+         << " rows";
+  const size_t n = std::min<size_t>(std::min(a.NumRows(), b.NumRows()), 10);
+  for (size_t i = 0; i < n; ++i) {
+    std::string left;
+    std::string right;
+    for (size_t c = 0; c < a.schema().NumColumns(); ++c) {
+      left += (c != 0 ? ", " : "") + a.at(i, c).ToString();
+    }
+    for (size_t c = 0; c < b.schema().NumColumns(); ++c) {
+      right += (c != 0 ? ", " : "") + b.at(i, c).ToString();
+    }
+    if (left != right) {
+      result << "\n  row " << i << ": (" << left << ") vs (" << right << ")";
+    }
+  }
+  return result;
+}
+
+/// Creates seq(pos INTEGER PRIMARY KEY, val DOUBLE) with n rows; values
+/// are a deterministic pseudo-random-ish pattern including negatives.
+inline void CreateSeqTable(Database& db, int n,
+                           const std::string& name = "seq") {
+  MustExecute(db, "CREATE TABLE " + name +
+                      " (pos INTEGER PRIMARY KEY, val DOUBLE)");
+  if (n == 0) return;
+  std::string insert = "INSERT INTO " + name + " VALUES ";
+  for (int i = 1; i <= n; ++i) {
+    if (i > 1) insert += ", ";
+    const int v = ((i * 37 + 11) % 101) - 23;
+    insert += "(" + std::to_string(i) + ", " + std::to_string(v) + ")";
+  }
+  MustExecute(db, insert);
+}
+
+}  // namespace testutil
+}  // namespace rfv
+
+#endif  // RFVIEW_TESTS_TEST_UTIL_H_

@@ -1,0 +1,153 @@
+#include "view/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::MustExecute;
+using testutil::RowsEqual;
+
+class ViewMaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(db_, "CREATE TABLE seq (pos INTEGER PRIMARY KEY, val DOUBLE)");
+    std::string insert = "INSERT INTO seq VALUES ";
+    for (int i = 1; i <= 30; ++i) {
+      if (i > 1) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i % 7) + ")";
+    }
+    MustExecute(db_, insert);
+  }
+
+  void CreateView(const std::string& name, const std::string& fn, int l,
+                  int h) {
+    MustExecute(db_, "CREATE MATERIALIZED VIEW " + name + " AS SELECT pos, " +
+                         fn + "(val) OVER (ORDER BY pos ROWS BETWEEN " +
+                         std::to_string(l) + " PRECEDING AND " +
+                         std::to_string(h) + " FOLLOWING) FROM seq");
+  }
+
+  /// The view content must equal a freshly refreshed copy.
+  void ExpectViewFresh(const std::string& name) {
+    const ResultSet before = MustExecute(
+        db_, "SELECT pos, val FROM " + name + " ORDER BY pos");
+    ASSERT_TRUE(db_.view_manager()->RefreshView(name).ok());
+    const ResultSet after = MustExecute(
+        db_, "SELECT pos, val FROM " + name + " ORDER BY pos");
+    EXPECT_TRUE(RowsEqual(before, after)) << name;
+  }
+
+  Database db_;
+};
+
+TEST_F(ViewMaintenanceTest, UpdateTouchesWindowRowsOnly) {
+  CreateView("v", "SUM", 2, 1);  // w = 4
+  const Result<size_t> touched =
+      PropagateBaseUpdate(db_.view_manager(), "seq", 15, 100.0);
+  ASSERT_TRUE(touched.ok()) << touched.status().ToString();
+  EXPECT_EQ(*touched, 4u);
+  // Base table took the update.
+  const ResultSet base = MustExecute(db_, "SELECT val FROM seq WHERE pos = 15");
+  EXPECT_DOUBLE_EQ(base.at(0, 0).ToDouble(), 100.0);
+  ExpectViewFresh("v");
+}
+
+TEST_F(ViewMaintenanceTest, UpdateNearBoundaryTouchesHeader) {
+  CreateView("v", "SUM", 1, 2);
+  const Result<size_t> touched =
+      PropagateBaseUpdate(db_.view_manager(), "seq", 1, 50.0);
+  ASSERT_TRUE(touched.ok());
+  // Affected positions [1-2, 1+1] = [-1, 2], all stored.
+  EXPECT_EQ(*touched, 4u);
+  ExpectViewFresh("v");
+}
+
+TEST_F(ViewMaintenanceTest, UpdateMaintainsCumulativeView) {
+  MustExecute(db_,
+              "CREATE MATERIALIZED VIEW vcum AS SELECT pos, SUM(val) OVER "
+              "(ORDER BY pos ROWS UNBOUNDED PRECEDING) FROM seq");
+  const Result<size_t> touched =
+      PropagateBaseUpdate(db_.view_manager(), "seq", 10, 99.0);
+  ASSERT_TRUE(touched.ok());
+  ExpectViewFresh("vcum");
+}
+
+TEST_F(ViewMaintenanceTest, UpdateMaintainsMinMaxViews) {
+  CreateView("vmin", "MIN", 2, 2);
+  CreateView("vmax", "MAX", 1, 1);
+  ASSERT_TRUE(
+      PropagateBaseUpdate(db_.view_manager(), "seq", 12, -50.0).ok());
+  ExpectViewFresh("vmin");
+  ExpectViewFresh("vmax");
+  ASSERT_TRUE(
+      PropagateBaseUpdate(db_.view_manager(), "seq", 12, 50.0).ok());
+  ExpectViewFresh("vmin");
+  ExpectViewFresh("vmax");
+}
+
+TEST_F(ViewMaintenanceTest, MultipleViewsMaintainedTogether) {
+  CreateView("v1", "SUM", 1, 1);
+  CreateView("v2", "SUM", 3, 0);
+  const Result<size_t> touched =
+      PropagateBaseUpdate(db_.view_manager(), "seq", 20, 42.0);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(*touched, 3u + 4u);
+  ExpectViewFresh("v1");
+  ExpectViewFresh("v2");
+}
+
+TEST_F(ViewMaintenanceTest, InsertShiftsPositions) {
+  CreateView("v", "SUM", 1, 1);
+  const Result<size_t> touched =
+      PropagateBaseInsert(db_.view_manager(), "seq", 10, 500.0);
+  ASSERT_TRUE(touched.ok()) << touched.status().ToString();
+  // Base has 31 rows, value 500 now at position 10.
+  const ResultSet base = MustExecute(db_, "SELECT val FROM seq WHERE pos = 10");
+  EXPECT_DOUBLE_EQ(base.at(0, 0).ToDouble(), 500.0);
+  EXPECT_EQ(MustExecute(db_, "SELECT COUNT(*) FROM seq").at(0, 0),
+            Value::Int(31));
+  ExpectViewFresh("v");
+}
+
+TEST_F(ViewMaintenanceTest, DeleteShiftsPositions) {
+  CreateView("v", "SUM", 1, 1);
+  ASSERT_TRUE(PropagateBaseDelete(db_.view_manager(), "seq", 10).ok());
+  EXPECT_EQ(MustExecute(db_, "SELECT COUNT(*) FROM seq").at(0, 0),
+            Value::Int(29));
+  // Positions stay dense 1..29.
+  EXPECT_EQ(MustExecute(db_, "SELECT MAX(pos) FROM seq").at(0, 0),
+            Value::Int(29));
+  ExpectViewFresh("v");
+}
+
+TEST_F(ViewMaintenanceTest, UpdateMissingPositionFails) {
+  CreateView("v", "SUM", 1, 1);
+  EXPECT_EQ(
+      PropagateBaseUpdate(db_.view_manager(), "seq", 99, 1.0).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(ViewMaintenanceTest, NoDependentViewsFails) {
+  EXPECT_EQ(
+      PropagateBaseUpdate(db_.view_manager(), "seq", 1, 1.0).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(ViewMaintenanceTest, QueriesAfterMaintenanceAreCorrect) {
+  CreateView("v", "SUM", 2, 1);
+  ASSERT_TRUE(PropagateBaseUpdate(db_.view_manager(), "seq", 7, 123.0).ok());
+  const std::string query =
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+      "AND 1 FOLLOWING) FROM seq ORDER BY pos";
+  const ResultSet via_view = MustExecute(db_, query);
+  EXPECT_EQ(via_view.rewrite_method(), "direct");
+  db_.options().enable_view_rewrite = false;
+  const ResultSet direct = MustExecute(db_, query);
+  EXPECT_TRUE(RowsEqual(via_view, direct));
+}
+
+}  // namespace
+}  // namespace rfv
