@@ -7,9 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "sequence/compute.h"
+#include "workload.h"
 
 namespace rfv {
 namespace {
@@ -66,6 +68,33 @@ void BM_Compute_BuildCompleteSequence(benchmark::State& state) {
   }
 }
 
+// Partition-parallel window execution inside the engine: the same
+// sliding-SUM idea expressed as a PARTITION BY window query, swept over
+// the worker count (Arg = exec.window_workers; 1 = the serial
+// baseline). 64 partitions x 2048 rows; the per-operator metrics
+// breakdown is dumped to stderr once per worker count.
+void BM_WindowOp_PartitionParallel(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Database db;
+  bench::BuildPartitionedSeqTable(&db, /*partitions=*/64,
+                                  /*rows_per_partition=*/2048);
+  db.options().exec.window_workers = workers;
+  const char* query =
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 50 PRECEDING AND 50 FOLLOWING) FROM pseq ORDER BY grp, pos";
+  for (auto _ : state) {
+    const ResultSet rs = bench::MustExecute(&db, query);
+    benchmark::DoNotOptimize(rs.NumRows());
+    if (rs.NumRows() != 64u * 2048u) {
+      state.SkipWithError("wrong result cardinality");
+      return;
+    }
+    bench::PrintOperatorMetrics(
+        rs, "window_parallel workers=" + std::to_string(workers));
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
 BENCHMARK(BM_Compute_Naive)
     ->Arg(2)->Arg(8)->Arg(32)->Arg(64)->Arg(128)->Arg(200)
     ->Unit(benchmark::kMillisecond);
@@ -77,6 +106,9 @@ BENCHMARK(BM_Compute_MinMaxDeque)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Compute_BuildCompleteSequence)
     ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WindowOp_PartitionParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "workload.h"
 
 namespace rfv {
@@ -30,8 +32,8 @@ constexpr const char* kSelfJoinQuery =
     "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM seq s1, seq s2 WHERE "
     "s1.pos IN (s2.pos - 1, s2.pos, s2.pos + 1) GROUP BY s1.pos";
 
-void RunQuery(benchmark::State& state, const char* query, bool with_index,
-              bool allow_index_join) {
+void RunQuery(benchmark::State& state, const char* tag, const char* query,
+              bool with_index, bool allow_index_join) {
   const int64_t n = state.range(0);
   Database db;
   BuildSeqTable(&db, n, with_index);
@@ -43,27 +45,30 @@ void RunQuery(benchmark::State& state, const char* query, bool with_index,
       state.SkipWithError("wrong result cardinality");
       return;
     }
+    // Per-operator breakdown (scan/join/sort/aggregate/window rows and
+    // wall times), printed once per benchmark cell.
+    PrintOperatorMetrics(rs, std::string(tag) + "/" + std::to_string(n));
   }
   state.counters["rows"] = static_cast<double>(n);
 }
 
 void BM_Table1_ReportingFunction_NoIndex(benchmark::State& state) {
-  RunQuery(state, kNativeQuery, /*with_index=*/false,
+  RunQuery(state, "native_noindex", kNativeQuery, /*with_index=*/false,
            /*allow_index_join=*/false);
 }
 
 void BM_Table1_ReportingFunction_WithIndex(benchmark::State& state) {
-  RunQuery(state, kNativeQuery, /*with_index=*/true,
+  RunQuery(state, "native_index", kNativeQuery, /*with_index=*/true,
            /*allow_index_join=*/true);
 }
 
 void BM_Table1_SelfJoin_NoIndex(benchmark::State& state) {
-  RunQuery(state, kSelfJoinQuery, /*with_index=*/false,
+  RunQuery(state, "selfjoin_noindex", kSelfJoinQuery, /*with_index=*/false,
            /*allow_index_join=*/false);
 }
 
 void BM_Table1_SelfJoin_WithIndex(benchmark::State& state) {
-  RunQuery(state, kSelfJoinQuery, /*with_index=*/true,
+  RunQuery(state, "selfjoin_index", kSelfJoinQuery, /*with_index=*/true,
            /*allow_index_join=*/true);
 }
 

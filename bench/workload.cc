@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 namespace rfv {
 namespace bench {
@@ -50,6 +51,46 @@ void BuildSeqTable(Database* db, int64_t n, bool with_index,
       std::abort();
     }
   }
+}
+
+void BuildPartitionedSeqTable(Database* db, int64_t partitions,
+                              int64_t rows_per_partition,
+                              const std::string& name) {
+  Result<Table*> table = db->catalog()->CreateTable(
+      name, Schema({ColumnDef("grp", DataType::kInt64),
+                    ColumnDef("pos", DataType::kInt64),
+                    ColumnDef("val", DataType::kDouble)}));
+  if (!table.ok()) {
+    std::fprintf(stderr, "CreateTable failed: %s\n",
+                 table.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(partitions * rows_per_partition));
+  uint64_t state = 0x452821e638d01377ull;  // deterministic xorshift
+  for (int64_t g = 0; g < partitions; ++g) {
+    for (int64_t i = 1; i <= rows_per_partition; ++i) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      const double value = static_cast<double>(state % 1000) / 10.0;
+      rows.push_back(
+          Row({Value::Int(g), Value::Int(i), Value::Double(value)}));
+    }
+  }
+  Status status = (*table)->InsertBatch(std::move(rows));
+  if (!status.ok()) {
+    std::fprintf(stderr, "InsertBatch failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+void PrintOperatorMetrics(const ResultSet& rs, const std::string& tag) {
+  static std::set<std::string>* printed = new std::set<std::string>();
+  if (!printed->insert(tag).second) return;
+  std::fprintf(stderr, "--- operator metrics [%s] ---\n%s", tag.c_str(),
+               rs.MetricsToString().c_str());
 }
 
 void BuildSequenceView(Database* db, const std::string& view_name, int64_t l,

@@ -22,9 +22,21 @@ void BuildSeqTable(Database* db, int64_t n, bool with_index,
 void BuildSequenceView(Database* db, const std::string& view_name, int64_t l,
                        int64_t h, const std::string& base = "seq");
 
+/// Builds a multi-partition sequence table `name(grp INTEGER, pos
+/// INTEGER, val DOUBLE)`: `partitions` groups of `rows_per_partition`
+/// dense positions each, deterministic pseudo-random values. The
+/// workload for partition-parallel window execution.
+void BuildPartitionedSeqTable(Database* db, int64_t partitions,
+                              int64_t rows_per_partition,
+                              const std::string& name = "pseq");
+
 /// Runs one SQL statement, aborting on error (benchmark misconfiguration
 /// must be loud).
 ResultSet MustExecute(Database* db, const std::string& sql);
+
+/// Dumps a result's per-operator metrics report to stderr under `tag`
+/// (once per distinct tag — benchmarks call this every iteration).
+void PrintOperatorMetrics(const ResultSet& rs, const std::string& tag);
 
 }  // namespace bench
 }  // namespace rfv

@@ -1,0 +1,81 @@
+#ifndef RFVIEW_COMMON_THREAD_POOL_H_
+#define RFVIEW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfv {
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+///
+/// Tasks are arbitrary void() callables; they must not throw (the
+/// engine's error channel is Status, so operator code captures failures
+/// into per-task slots instead). Submission is thread-safe. The
+/// destructor drains outstanding tasks before joining the workers, so a
+/// pool can be destroyed while idle submitters still hold a reference
+/// only if they stopped submitting — the usual fork/join discipline is
+/// to pair Submit with TaskGroup::Wait.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide shared pool, created on first use. Sized to the
+  /// hardware concurrency but never below 4, so the cross-thread paths
+  /// of partition-parallel operators are exercised (and sanitizable)
+  /// even on single-core CI machines; the oversubscription is harmless
+  /// because the engine's tasks are CPU-bound and coarse.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Fork/join helper over a ThreadPool: submit any number of tasks, then
+/// Wait() blocks until every one of them has finished. Submit/Wait may
+/// be repeated; a TaskGroup must outlive its tasks (the destructor
+/// waits).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` on the pool and tracks its completion.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have run to completion.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_THREAD_POOL_H_

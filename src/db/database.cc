@@ -128,9 +128,16 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
   LogicalPlanPtr plan;
   RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(stmt));
   plan = OptimizePlan(std::move(plan));
+  // Build and run the physical plan here (rather than through
+  // ExecutePlan) so the operator tree survives long enough to harvest
+  // its per-operator metrics into the result.
+  PhysicalOperatorPtr root;
+  RFV_ASSIGN_OR_RETURN(root, BuildPhysicalPlan(*plan, options_.exec));
   std::vector<Row> rows;
-  RFV_ASSIGN_OR_RETURN(rows, ExecutePlan(*plan, options_.exec));
-  return ResultSet(plan->schema, std::move(rows));
+  RFV_ASSIGN_OR_RETURN(rows, ExecuteToVector(root.get()));
+  ResultSet rs(plan->schema, std::move(rows));
+  rs.SetMetrics(CollectMetrics(*root));
+  return rs;
 }
 
 Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {

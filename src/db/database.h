@@ -40,7 +40,9 @@ class Database {
     RewriteVariant rewrite_variant = RewriteVariant::kDisjunctive;
     /// Force MaxOA or MinOA instead of the automatic choice.
     std::optional<DerivationMethod> force_method;
-    /// Physical execution knobs (index/hash join toggles).
+    /// Physical execution knobs: index/hash join toggles plus the
+    /// window parallelism controls (exec.window_workers /
+    /// exec.window_parallel_min_rows — see ExecOptions).
     ExecOptions exec;
   };
 

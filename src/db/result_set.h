@@ -6,6 +6,7 @@
 
 #include "common/row.h"
 #include "common/schema.h"
+#include "exec/executor.h"
 
 namespace rfv {
 
@@ -45,6 +46,20 @@ class ResultSet {
     rewritten_sql_ = std::move(sql);
   }
 
+  /// Per-operator execution metrics of the physical plan that produced
+  /// this result (empty for DML/DDL and results built without a plan).
+  /// Entries are in pre-order; entry 0 is the plan root.
+  const std::vector<OperatorMetricsEntry>& metrics() const {
+    return metrics_;
+  }
+  void SetMetrics(std::vector<OperatorMetricsEntry> metrics) {
+    metrics_ = std::move(metrics);
+  }
+
+  /// Indented one-line-per-operator rendering of metrics() (empty
+  /// string when no metrics were recorded).
+  std::string MetricsToString() const { return FormatMetricsReport(metrics_); }
+
   /// ASCII table rendering (examples / debugging).
   std::string ToString(size_t max_rows = 20) const;
 
@@ -55,6 +70,7 @@ class ResultSet {
   int64_t affected_ = -1;
   std::string rewrite_method_;
   std::string rewritten_sql_;
+  std::vector<OperatorMetricsEntry> metrics_;
 };
 
 }  // namespace rfv

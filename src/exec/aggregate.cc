@@ -67,7 +67,7 @@ struct Accumulator {
 
 }  // namespace
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   results_.clear();
   pos_ = 0;
   RFV_RETURN_IF_ERROR(child_->Open());
@@ -133,10 +133,11 @@ Status HashAggregateOp::Open() {
     }
     results_.push_back(Row(std::move(out)));
   }
+  NoteBufferedRows(results_.size());
   return Status::OK();
 }
 
-Status HashAggregateOp::Next(Row* row, bool* eof) {
+Status HashAggregateOp::NextImpl(Row* row, bool* eof) {
   if (pos_ >= results_.size()) {
     *eof = true;
     return Status::OK();

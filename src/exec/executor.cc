@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
@@ -194,8 +195,9 @@ Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
       for (const WindowCall& c : plan.window_calls) {
         calls.push_back(CloneWindowCall(c));
       }
-      return PhysicalOperatorPtr(
-          new WindowOp(plan.schema, std::move(child), std::move(calls)));
+      return PhysicalOperatorPtr(new WindowOp(
+          plan.schema, std::move(child), std::move(calls),
+          options.window_workers, options.window_parallel_min_rows));
     }
     case PlanKind::kSort: {
       PhysicalOperatorPtr child;
@@ -224,6 +226,56 @@ Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
     }
   }
   return Status::Internal("unreachable plan kind");
+}
+
+namespace {
+
+void CollectMetricsInto(const PhysicalOperator& op, int depth,
+                        std::vector<OperatorMetricsEntry>* out) {
+  std::vector<const PhysicalOperator*> children;
+  op.AppendChildren(&children);
+  OperatorMetricsEntry entry;
+  entry.name = op.name();
+  entry.depth = depth;
+  entry.metrics = op.metrics();
+  for (const PhysicalOperator* child : children) {
+    entry.rows_in += child->metrics().rows_out;
+  }
+  out->push_back(std::move(entry));
+  for (const PhysicalOperator* child : children) {
+    CollectMetricsInto(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<OperatorMetricsEntry> CollectMetrics(
+    const PhysicalOperator& root) {
+  std::vector<OperatorMetricsEntry> out;
+  CollectMetricsInto(root, 0, &out);
+  return out;
+}
+
+std::string FormatMetricsReport(
+    const std::vector<OperatorMetricsEntry>& entries) {
+  std::string out;
+  for (const OperatorMetricsEntry& e : entries) {
+    char line[256];
+    const std::string padded =
+        std::string(static_cast<size_t>(e.depth) * 2, ' ') + e.name;
+    std::snprintf(
+        line, sizeof(line),
+        "%-24s rows_in=%-9lld rows_out=%-9lld next_calls=%-9lld "
+        "open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
+        padded.c_str(), static_cast<long long>(e.rows_in),
+        static_cast<long long>(e.metrics.rows_out),
+        static_cast<long long>(e.metrics.next_calls),
+        static_cast<double>(e.metrics.open_ns) / 1e6,
+        static_cast<double>(e.metrics.next_ns) / 1e6,
+        static_cast<long long>(e.metrics.peak_buffered_rows));
+    out += line;
+  }
+  return out;
 }
 
 Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {

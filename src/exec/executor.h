@@ -1,7 +1,10 @@
 #ifndef RFVIEW_EXEC_EXECUTOR_H_
 #define RFVIEW_EXEC_EXECUTOR_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/row.h"
@@ -11,8 +14,29 @@
 
 namespace rfv {
 
+/// Per-operator execution counters, maintained by the PhysicalOperator
+/// base class (wall times, row/call counts) and by the operators
+/// themselves (peak buffered rows, reported by the materializing ones).
+/// Cheap enough to keep always-on: two steady_clock reads per Next.
+struct OperatorMetrics {
+  int64_t rows_out = 0;    ///< rows produced through Next
+  int64_t next_calls = 0;  ///< Next invocations, including the EOF call
+  int64_t open_ns = 0;     ///< wall time inside Open (incl. children)
+  int64_t next_ns = 0;     ///< cumulative wall time inside Next (ditto)
+  /// High-water mark of rows materialized by this operator (sort
+  /// buffers, hash tables, window/join materializations); 0 for
+  /// streaming operators.
+  int64_t peak_buffered_rows = 0;
+
+  void Reset() { *this = OperatorMetrics(); }
+};
+
 /// Pull-based (Volcano-style) physical operator. Lifecycle:
 /// Open() once, Next() until *eof, destructor releases state.
+///
+/// Open/Next are non-virtual shells that maintain OperatorMetrics and
+/// delegate to the OpenImpl/NextImpl overrides; white-box users (tests,
+/// the executor driver) keep calling Open/Next as before.
 class PhysicalOperator {
  public:
   explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
@@ -21,19 +45,84 @@ class PhysicalOperator {
   PhysicalOperator(const PhysicalOperator&) = delete;
   PhysicalOperator& operator=(const PhysicalOperator&) = delete;
 
-  virtual Status Open() = 0;
+  Status Open() {
+    metrics_.Reset();
+    const auto start = std::chrono::steady_clock::now();
+    Status status = OpenImpl();
+    metrics_.open_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    return status;
+  }
 
   /// Produces the next row into *row, or sets *eof = true (row left
   /// untouched) when the stream is exhausted.
-  virtual Status Next(Row* row, bool* eof) = 0;
+  Status Next(Row* row, bool* eof) {
+    const auto start = std::chrono::steady_clock::now();
+    Status status = NextImpl(row, eof);
+    metrics_.next_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    ++metrics_.next_calls;
+    if (status.ok() && !*eof) ++metrics_.rows_out;
+    return status;
+  }
 
   const Schema& schema() const { return schema_; }
 
+  /// Short operator name for metrics/EXPLAIN-style reports.
+  virtual const char* name() const = 0;
+
+  /// Appends this operator's direct inputs (tree traversal for metrics
+  /// collection). Leaf operators append nothing.
+  virtual void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const {
+    (void)out;
+  }
+
+  const OperatorMetrics& metrics() const { return metrics_; }
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Status NextImpl(Row* row, bool* eof) = 0;
+
+  /// Raises the buffered-rows high-water mark (materializing operators
+  /// call this after filling their buffers).
+  void NoteBufferedRows(size_t n) {
+    if (static_cast<int64_t>(n) > metrics_.peak_buffered_rows) {
+      metrics_.peak_buffered_rows = static_cast<int64_t>(n);
+    }
+  }
+
   Schema schema_;
+
+ private:
+  OperatorMetrics metrics_;
 };
 
 using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// One line of a per-operator metrics report: the operator's name and
+/// depth in the plan tree, its counters, and the summed rows_out of its
+/// inputs (its "rows in").
+struct OperatorMetricsEntry {
+  std::string name;
+  int depth = 0;
+  int64_t rows_in = 0;
+  OperatorMetrics metrics;
+};
+
+/// Flattens the operator tree (pre-order) into metrics entries.
+std::vector<OperatorMetricsEntry> CollectMetrics(
+    const PhysicalOperator& root);
+
+/// Renders a metrics report as an indented ASCII table, one operator per
+/// line:
+///   window            rows_in=100000 rows_out=100000 ... open_ms=12.3
+/// Times are reported in milliseconds with the child time included
+/// (wall time is measured around the recursive Open/Next calls).
+std::string FormatMetricsReport(
+    const std::vector<OperatorMetricsEntry>& entries);
 
 /// Knobs for physical plan selection. The defaults give the engine its
 /// best plans; benchmarks flip them to reproduce the paper's comparison
@@ -45,6 +134,16 @@ struct ExecOptions {
   /// Sort-merge join for equi joins; consulted when the hash join is
   /// disabled or skipped (hash is the default equi strategy).
   bool enable_sort_merge_join = false;
+  /// Worker count for partition-parallel window evaluation: 1 = always
+  /// single-threaded, n > 1 = split partitions across up to n tasks on
+  /// the shared thread pool, 0 = auto (hardware concurrency). Results
+  /// are byte-identical to the single-threaded path: partitions are
+  /// never split across tasks and each task writes disjoint outputs.
+  int window_workers = 0;
+  /// Inputs smaller than this many rows always run single-threaded
+  /// (task dispatch would dominate). Tests lower it to force the
+  /// parallel path on small inputs.
+  int64_t window_parallel_min_rows = 4096;
 };
 
 /// Lowers a logical plan to a physical operator tree. Join

@@ -4,9 +4,9 @@
 
 namespace rfv {
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Status FilterOp::Next(Row* row, bool* eof) {
+Status FilterOp::NextImpl(Row* row, bool* eof) {
   while (true) {
     bool child_eof = false;
     RFV_RETURN_IF_ERROR(child_->Next(row, &child_eof));

@@ -13,7 +13,7 @@ namespace rfv {
 // Nested-loop join
 // ---------------------------------------------------------------------------
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
   left_valid_ = false;
   RFV_RETURN_IF_ERROR(left_->Open());
@@ -26,6 +26,7 @@ Status NestedLoopJoinOp::Open() {
     if (eof) break;
     right_rows_.push_back(std::move(row));
   }
+  NoteBufferedRows(right_rows_.size());
   return Status::OK();
 }
 
@@ -37,7 +38,7 @@ Status NestedLoopJoinOp::AdvanceLeft(bool* eof) {
   return Status::OK();
 }
 
-Status NestedLoopJoinOp::Next(Row* row, bool* eof) {
+Status NestedLoopJoinOp::NextImpl(Row* row, bool* eof) {
   while (true) {
     if (!left_valid_) {
       bool left_eof = false;
@@ -431,7 +432,7 @@ std::optional<IndexProbeSpec> TryExtractIndexProbe(const Expr& condition,
 // Index nested-loop join
 // ---------------------------------------------------------------------------
 
-Status IndexNestedLoopJoinOp::Open() {
+Status IndexNestedLoopJoinOp::OpenImpl() {
   left_valid_ = false;
   candidates_.clear();
   candidate_pos_ = 0;
@@ -492,7 +493,7 @@ Status IndexNestedLoopJoinOp::AdvanceLeft(bool* eof) {
   return Status::OK();
 }
 
-Status IndexNestedLoopJoinOp::Next(Row* row, bool* eof) {
+Status IndexNestedLoopJoinOp::NextImpl(Row* row, bool* eof) {
   while (true) {
     if (!left_valid_) {
       bool left_eof = false;
@@ -535,13 +536,14 @@ Status IndexNestedLoopJoinOp::Next(Row* row, bool* eof) {
 // Hash join
 // ---------------------------------------------------------------------------
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   hash_table_.clear();
   left_valid_ = false;
   bucket_ = nullptr;
   RFV_RETURN_IF_ERROR(left_->Open());
   RFV_RETURN_IF_ERROR(right_->Open());
   right_width_ = right_->schema().NumColumns();
+  size_t buffered = 0;
   while (true) {
     Row row;
     bool eof = false;
@@ -558,7 +560,9 @@ Status HashJoinOp::Open() {
     }
     if (has_null) continue;  // NULL keys never equi-match
     hash_table_[std::move(key)].push_back(std::move(row));
+    ++buffered;
   }
+  NoteBufferedRows(buffered);
   return Status::OK();
 }
 
@@ -582,7 +586,7 @@ Status HashJoinOp::AdvanceLeft(bool* eof) {
   return Status::OK();
 }
 
-Status HashJoinOp::Next(Row* row, bool* eof) {
+Status HashJoinOp::NextImpl(Row* row, bool* eof) {
   while (true) {
     if (!left_valid_) {
       bool left_eof = false;

@@ -2,12 +2,12 @@
 
 namespace rfv {
 
-Status LimitOp::Open() {
+Status LimitOp::OpenImpl() {
   produced_ = 0;
   return child_->Open();
 }
 
-Status LimitOp::Next(Row* row, bool* eof) {
+Status LimitOp::NextImpl(Row* row, bool* eof) {
   if (produced_ >= limit_) {
     *eof = true;
     return Status::OK();

@@ -24,10 +24,13 @@ class TableScanOp : public PhysicalOperator {
  public:
   TableScanOp(Schema schema, Table* table)
       : PhysicalOperator(std::move(schema)), table_(table) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "scan"; }
 
   Table* table() const { return table_; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   Table* table_;
@@ -40,8 +43,15 @@ class FilterOp : public PhysicalOperator {
       : PhysicalOperator(std::move(schema)),
         child_(std::move(child)),
         predicate_(std::move(predicate)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "filter"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -55,8 +65,15 @@ class ProjectOp : public PhysicalOperator {
       : PhysicalOperator(std::move(schema)),
         child_(std::move(child)),
         projections_(std::move(projections)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "project"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -77,8 +94,16 @@ class NestedLoopJoinOp : public PhysicalOperator {
         right_(std::move(right)),
         condition_(std::move(condition)),
         join_type_(join_type) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "nested_loop_join"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   Status AdvanceLeft(bool* eof);
@@ -154,8 +179,15 @@ class IndexNestedLoopJoinOp : public PhysicalOperator {
         right_schema_(std::move(right_schema)),
         spec_(std::move(spec)),
         join_type_(join_type) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "index_nested_loop_join"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(left_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   Status AdvanceLeft(bool* eof);
@@ -189,8 +221,16 @@ class HashJoinOp : public PhysicalOperator {
         right_keys_(std::move(right_keys)),
         residual_(std::move(residual)),
         join_type_(join_type) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "hash_join"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   Status AdvanceLeft(bool* eof);
@@ -229,8 +269,16 @@ class SortMergeJoinOp : public PhysicalOperator {
         right_keys_(std::move(right_keys)),
         residual_(std::move(residual)),
         join_type_(join_type) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "sort_merge_join"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   struct Keyed {
@@ -268,8 +316,15 @@ class SortOp : public PhysicalOperator {
       : PhysicalOperator(std::move(schema)),
         child_(std::move(child)),
         keys_(std::move(keys)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "sort"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -288,8 +343,15 @@ class HashAggregateOp : public PhysicalOperator {
         child_(std::move(child)),
         group_by_(std::move(group_by)),
         aggregates_(std::move(aggregates)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "hash_aggregate"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -303,21 +365,64 @@ class HashAggregateOp : public PhysicalOperator {
 /// evaluates every WindowCall with an O(1)-amortized-per-row frame
 /// engine (see exec/window_frame.h), appends one column per call, and
 /// re-emits rows in their original input order.
+///
+/// Partition-parallel: after the sort, the per-partition sweeps are
+/// independent, so partitions are chunked across the shared ThreadPool
+/// when the input is large enough and `workers` allows it. Partitions
+/// are never split and each task writes disjoint output slots, so the
+/// result is byte-identical to the single-threaded path.
 class WindowOp : public PhysicalOperator {
  public:
+  /// `workers`: 1 = single-threaded, n > 1 = up to n parallel tasks,
+  /// 0 = auto (hardware concurrency). `parallel_min_rows` gates the
+  /// parallel path by input size.
   WindowOp(Schema schema, PhysicalOperatorPtr child,
-           std::vector<WindowCall> calls)
+           std::vector<WindowCall> calls, int workers = 1,
+           int64_t parallel_min_rows = 4096)
       : PhysicalOperator(std::move(schema)),
         child_(std::move(child)),
-        calls_(std::move(calls)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+        calls_(std::move(calls)),
+        workers_(workers),
+        parallel_min_rows_(parallel_min_rows) {}
+  const char* name() const override { return "window"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
+  /// Shared read-only inputs of one call's per-partition sweeps.
+  struct CallContext {
+    const WindowCall* call = nullptr;
+    /// Per row: evaluated aggregate argument (empty unless kAggregate
+    /// with an argument).
+    std::vector<Value> args;
+    /// Per row: partition keys followed by order keys.
+    std::vector<std::vector<Value>> keys;
+    /// Row indices sorted by (partition keys, order keys).
+    std::vector<size_t> order;
+  };
+
   Status ComputeCall(const WindowCall& call, std::vector<Value>* out) const;
+
+  /// Evaluates one partition (the sorted index range [begin, end) of
+  /// ctx.order) into the matching slots of *out. Safe to run
+  /// concurrently for disjoint ranges.
+  Status ProcessPartition(const CallContext& ctx, size_t begin, size_t end,
+                          std::vector<Value>* out) const;
+
+  /// Resolved worker count for an input of `rows` rows split into
+  /// `partitions` partitions; 1 means run single-threaded.
+  int EffectiveWorkers(size_t rows, size_t partitions) const;
 
   PhysicalOperatorPtr child_;
   std::vector<WindowCall> calls_;
+  int workers_;
+  int64_t parallel_min_rows_;
   std::vector<Row> rows_;
   std::vector<std::vector<Value>> extra_columns_;
   size_t pos_ = 0;
@@ -327,8 +432,15 @@ class UnionAllOp : public PhysicalOperator {
  public:
   UnionAllOp(Schema schema, std::vector<PhysicalOperatorPtr> children)
       : PhysicalOperator(std::move(schema)), children_(std::move(children)) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "union_all"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    for (const PhysicalOperatorPtr& c : children_) out->push_back(c.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   std::vector<PhysicalOperatorPtr> children_;
@@ -341,8 +453,15 @@ class LimitOp : public PhysicalOperator {
       : PhysicalOperator(std::move(schema)),
         child_(std::move(child)),
         limit_(limit) {}
-  Status Open() override;
-  Status Next(Row* row, bool* eof) override;
+  const char* name() const override { return "limit"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;

@@ -4,9 +4,9 @@
 
 namespace rfv {
 
-Status ProjectOp::Open() { return child_->Open(); }
+Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-Status ProjectOp::Next(Row* row, bool* eof) {
+Status ProjectOp::NextImpl(Row* row, bool* eof) {
   Row input;
   bool child_eof = false;
   RFV_RETURN_IF_ERROR(child_->Next(&input, &child_eof));

@@ -2,12 +2,12 @@
 
 namespace rfv {
 
-Status TableScanOp::Open() {
+Status TableScanOp::OpenImpl() {
   pos_ = 0;
   return Status::OK();
 }
 
-Status TableScanOp::Next(Row* row, bool* eof) {
+Status TableScanOp::NextImpl(Row* row, bool* eof) {
   if (pos_ >= table_->NumRows()) {
     *eof = true;
     return Status::OK();

@@ -6,7 +6,7 @@
 
 namespace rfv {
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   RFV_RETURN_IF_ERROR(child_->Open());
@@ -40,10 +40,11 @@ Status SortOp::Open() {
   });
   rows_.reserve(rows.size());
   for (size_t i : order) rows_.push_back(std::move(rows[i]));
+  NoteBufferedRows(rows_.size());
   return Status::OK();
 }
 
-Status SortOp::Next(Row* row, bool* eof) {
+Status SortOp::NextImpl(Row* row, bool* eof) {
   if (pos_ >= rows_.size()) {
     *eof = true;
     return Status::OK();

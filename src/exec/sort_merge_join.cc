@@ -48,7 +48,7 @@ Status SortMergeJoinOp::Materialize(PhysicalOperator* input,
   return Status::OK();
 }
 
-Status SortMergeJoinOp::Open() {
+Status SortMergeJoinOp::OpenImpl() {
   li_ = 0;
   rblock_start_ = 0;
   rblock_end_ = 0;
@@ -58,10 +58,11 @@ Status SortMergeJoinOp::Open() {
   right_width_ = right_->schema().NumColumns();
   RFV_RETURN_IF_ERROR(Materialize(left_.get(), left_keys_, &left_rows_));
   RFV_RETURN_IF_ERROR(Materialize(right_.get(), right_keys_, &right_rows_));
+  NoteBufferedRows(left_rows_.size() + right_rows_.size());
   return Status::OK();
 }
 
-Status SortMergeJoinOp::Next(Row* row, bool* eof) {
+Status SortMergeJoinOp::NextImpl(Row* row, bool* eof) {
   while (li_ < left_rows_.size()) {
     const Keyed& left = left_rows_[li_];
     if (!block_valid_) {

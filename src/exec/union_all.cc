@@ -2,7 +2,7 @@
 
 namespace rfv {
 
-Status UnionAllOp::Open() {
+Status UnionAllOp::OpenImpl() {
   current_ = 0;
   for (auto& child : children_) {
     RFV_RETURN_IF_ERROR(child->Open());
@@ -10,7 +10,7 @@ Status UnionAllOp::Open() {
   return Status::OK();
 }
 
-Status UnionAllOp::Next(Row* row, bool* eof) {
+Status UnionAllOp::NextImpl(Row* row, bool* eof) {
   while (current_ < children_.size()) {
     bool child_eof = false;
     RFV_RETURN_IF_ERROR(children_[current_]->Next(row, &child_eof));

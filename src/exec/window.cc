@@ -1,14 +1,18 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "exec/window_frame.h"
 #include "expr/eval.h"
 
 namespace rfv {
 
-Status WindowOp::Open() {
+Status WindowOp::OpenImpl() {
   rows_.clear();
   extra_columns_.clear();
   pos_ = 0;
@@ -20,6 +24,7 @@ Status WindowOp::Open() {
     if (eof) break;
     rows_.push_back(std::move(row));
   }
+  NoteBufferedRows(rows_.size());
   extra_columns_.reserve(calls_.size());
   for (const WindowCall& call : calls_) {
     std::vector<Value> column;
@@ -29,49 +34,73 @@ Status WindowOp::Open() {
   return Status::OK();
 }
 
+int WindowOp::EffectiveWorkers(size_t rows, size_t partitions) const {
+  if (partitions <= 1) return 1;
+  if (static_cast<int64_t>(rows) < parallel_min_rows_) return 1;
+  const size_t requested =
+      workers_ > 0 ? static_cast<size_t>(workers_)
+                   : std::max<size_t>(1, std::thread::hardware_concurrency());
+  return static_cast<int>(std::min(requested, partitions));
+}
+
 Status WindowOp::ComputeCall(const WindowCall& call,
                              std::vector<Value>* out) const {
   const size_t n = rows_.size();
   out->assign(n, Value::Null());
   if (n == 0) return Status::OK();
 
+  // Executor-side guard for RANGE frames: value distances are only
+  // meaningful along a single ascending order key. The binder rejects
+  // these for SQL queries; this covers directly built operator trees.
+  if (call.kind == WindowFnKind::kAggregate && call.frame.range_mode &&
+      (call.order_by.size() != 1 || !call.order_by[0].ascending)) {
+    return Status::ExecutionError(
+        "RANGE frames require exactly one ascending ORDER BY key");
+  }
+
+  CallContext ctx;
+  ctx.call = &call;
+
   // Evaluate the argument and the partition/order keys once per row.
-  std::vector<Value> args(n);
   if (call.kind == WindowFnKind::kAggregate && !call.is_count_star) {
+    ctx.args.resize(n);
     for (size_t i = 0; i < n; ++i) {
-      RFV_ASSIGN_OR_RETURN(args[i], Evaluator::Eval(*call.arg, rows_[i]));
+      RFV_ASSIGN_OR_RETURN(ctx.args[i], Evaluator::Eval(*call.arg, rows_[i]));
     }
   }
   const size_t np = call.partition_by.size();
   const size_t no = call.order_by.size();
-  std::vector<std::vector<Value>> keys(n);
+  ctx.keys.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    keys[i].reserve(np + no);
+    ctx.keys[i].reserve(np + no);
     for (const ExprPtr& p : call.partition_by) {
       Value v;
       RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*p, rows_[i]));
-      keys[i].push_back(std::move(v));
+      ctx.keys[i].push_back(std::move(v));
     }
     for (const SortKey& o : call.order_by) {
       Value v;
       RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*o.expr, rows_[i]));
-      keys[i].push_back(std::move(v));
+      ctx.keys[i].push_back(std::move(v));
     }
   }
 
   // Sort row indices by (partition keys, order keys).
-  std::vector<size_t> order(n);
-  for (size_t i = 0; i < n; ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    for (size_t k = 0; k < np + no; ++k) {
-      const int c = keys[a][k].Compare(keys[b][k]);
-      if (c != 0) {
-        const bool ascending = k < np || call.order_by[k - np].ascending;
-        return ascending ? c < 0 : c > 0;
-      }
-    }
-    return false;
-  });
+  const std::vector<std::vector<Value>>& keys = ctx.keys;
+  ctx.order.resize(n);
+  for (size_t i = 0; i < n; ++i) ctx.order[i] = i;
+  std::stable_sort(ctx.order.begin(), ctx.order.end(),
+                   [&](size_t a, size_t b) {
+                     for (size_t k = 0; k < np + no; ++k) {
+                       const int c = keys[a][k].Compare(keys[b][k]);
+                       if (c != 0) {
+                         const bool ascending =
+                             k < np || call.order_by[k - np].ascending;
+                         return ascending ? c < 0 : c > 0;
+                       }
+                     }
+                     return false;
+                   });
 
   const auto same_partition = [&](size_t a, size_t b) {
     for (size_t k = 0; k < np; ++k) {
@@ -80,113 +109,200 @@ Status WindowOp::ComputeCall(const WindowCall& call,
     return true;
   };
 
-  SlidingAggregate aggregate(call.fn, call.is_count_star, call.output_type);
-
+  // Partition boundaries (half-open ranges over the sorted order).
+  std::vector<std::pair<size_t, size_t>> partitions;
   size_t part_start = 0;
   while (part_start < n) {
     size_t part_end = part_start + 1;
     while (part_end < n &&
-           same_partition(order[part_start], order[part_end])) {
+           same_partition(ctx.order[part_start], ctx.order[part_end])) {
       ++part_end;
     }
-
-    if (call.kind != WindowFnKind::kAggregate) {
-      // Ranking functions: positional within the sorted partition.
-      // RANK assigns tied order keys the same (gapped) rank.
-      int64_t rank = 1;
-      for (size_t i = part_start; i < part_end; ++i) {
-        const int64_t row_number = static_cast<int64_t>(i - part_start) + 1;
-        if (call.kind == WindowFnKind::kRank) {
-          bool tied = i > part_start;
-          for (size_t k = np; tied && k < np + no; ++k) {
-            tied = keys[order[i]][k].Compare(keys[order[i - 1]][k]) == 0;
-          }
-          if (!tied) rank = row_number;
-          (*out)[order[i]] = Value::Int(rank);
-        } else {
-          (*out)[order[i]] = Value::Int(row_number);
-        }
-      }
-      part_start = part_end;
-      continue;
-    }
-
-    if (call.frame.range_mode) {
-      // RANGE frames: the window covers rows whose (single, ascending,
-      // numeric) order key lies within a value distance of the current
-      // key. Both value bounds are non-decreasing, so the same
-      // two-pointer sweep applies with key comparisons.
-      const auto key_at = [&](size_t sorted_index) -> const Value& {
-        return keys[order[sorted_index]][np];
-      };
-      aggregate.Reset();
-      size_t next_push = part_start;
-      size_t next_pop = part_start;
-      for (size_t i = part_start; i < part_end; ++i) {
-        if (key_at(i).is_null()) {
-          return Status::ExecutionError(
-              "RANGE frame over NULL ORDER BY keys is not supported");
-        }
-        const double key = key_at(i).ToDouble();
-        const double lo_bound = key + static_cast<double>(call.frame.lo);
-        const double hi_bound = key + static_cast<double>(call.frame.hi);
-        while (next_push < part_end &&
-               (call.frame.hi_unbounded ||
-                (!key_at(next_push).is_null() &&
-                 key_at(next_push).ToDouble() <= hi_bound))) {
-          const size_t row_index = order[next_push];
-          aggregate.Push(
-              call.is_count_star ? Value::Int(1) : args[row_index],
-              next_push);
-          ++next_push;
-        }
-        if (!call.frame.lo_unbounded) {
-          while (next_pop < part_end && next_pop < next_push &&
-                 key_at(next_pop).ToDouble() < lo_bound) {
-            ++next_pop;
-          }
-          aggregate.PopBefore(next_pop);
-        }
-        (*out)[order[i]] = aggregate.Current();
-      }
-      part_start = part_end;
-      continue;
-    }
-
-    // Two-pointer sweep: both frame endpoints are monotone in the row
-    // index, so each partition row is pushed and popped exactly once
-    // (the paper's pipelined O(1)-per-row scheme).
-    aggregate.Reset();
-    size_t next_push = part_start;
-    const int64_t s = static_cast<int64_t>(part_start);
-    const int64_t e = static_cast<int64_t>(part_end);
-    for (size_t i = part_start; i < part_end; ++i) {
-      const int64_t ii = static_cast<int64_t>(i);
-      const int64_t target_lo =
-          call.frame.lo_unbounded ? s : std::max(s, ii + call.frame.lo);
-      const int64_t target_hi =
-          call.frame.hi_unbounded ? e - 1 : std::min(e - 1, ii + call.frame.hi);
-      while (static_cast<int64_t>(next_push) <= target_hi) {
-        const size_t row_index = order[next_push];
-        aggregate.Push(call.is_count_star ? Value::Int(1) : args[row_index],
-                       next_push);
-        ++next_push;
-      }
-      aggregate.PopBefore(static_cast<size_t>(std::max<int64_t>(target_lo, 0)));
-      if (target_hi < target_lo) {
-        // Empty frame: COUNT = 0, others NULL.
-        (*out)[order[i]] = call.fn == AggFn::kCount ? Value::Int(0)
-                                                    : Value::Null();
-      } else {
-        (*out)[order[i]] = aggregate.Current();
-      }
-    }
+    partitions.emplace_back(part_start, part_end);
     part_start = part_end;
+  }
+
+  const size_t workers =
+      static_cast<size_t>(EffectiveWorkers(n, partitions.size()));
+  if (workers <= 1) {
+    for (const auto& [begin, end] : partitions) {
+      RFV_RETURN_IF_ERROR(ProcessPartition(ctx, begin, end, out));
+    }
+    return Status::OK();
+  }
+
+  // Parallel path: chunk whole partitions into up to `workers`
+  // contiguous groups of roughly equal row counts. Partitions are never
+  // split across tasks and every task writes disjoint slots of *out*,
+  // so the result is byte-identical to the serial path and the only
+  // synchronization needed is the final join.
+  std::vector<Status> statuses(workers);
+  {
+    TaskGroup group(ThreadPool::Shared());
+    const size_t target_rows = (n + workers - 1) / workers;
+    size_t chunk_begin = 0;  // index into `partitions`
+    for (size_t w = 0; w < workers && chunk_begin < partitions.size(); ++w) {
+      size_t chunk_end = chunk_begin;
+      size_t rows_taken = 0;
+      while (chunk_end < partitions.size() &&
+             (rows_taken < target_rows || chunk_end == chunk_begin)) {
+        rows_taken +=
+            partitions[chunk_end].second - partitions[chunk_end].first;
+        ++chunk_end;
+      }
+      // The last group sweeps up any remainder left by rounding.
+      if (w + 1 == workers) chunk_end = partitions.size();
+      Status* status_slot = &statuses[w];
+      group.Submit([this, &ctx, &partitions, status_slot, out, chunk_begin,
+                    chunk_end] {
+        for (size_t p = chunk_begin; p < chunk_end; ++p) {
+          Status s = ProcessPartition(ctx, partitions[p].first,
+                                      partitions[p].second, out);
+          if (!s.ok()) {
+            *status_slot = std::move(s);
+            return;
+          }
+        }
+      });
+      chunk_begin = chunk_end;
+    }
+    group.Wait();
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
   return Status::OK();
 }
 
-Status WindowOp::Next(Row* row, bool* eof) {
+Status WindowOp::ProcessPartition(const CallContext& ctx, size_t part_start,
+                                  size_t part_end,
+                                  std::vector<Value>* out) const {
+  const WindowCall& call = *ctx.call;
+  const std::vector<std::vector<Value>>& keys = ctx.keys;
+  const std::vector<size_t>& order = ctx.order;
+  const size_t np = call.partition_by.size();
+  const size_t no = call.order_by.size();
+
+  if (call.kind != WindowFnKind::kAggregate) {
+    // Ranking functions: positional within the sorted partition.
+    // RANK assigns tied order keys the same (gapped) rank.
+    int64_t rank = 1;
+    for (size_t i = part_start; i < part_end; ++i) {
+      const int64_t row_number = static_cast<int64_t>(i - part_start) + 1;
+      if (call.kind == WindowFnKind::kRank) {
+        bool tied = i > part_start;
+        for (size_t k = np; tied && k < np + no; ++k) {
+          tied = keys[order[i]][k].Compare(keys[order[i - 1]][k]) == 0;
+        }
+        if (!tied) rank = row_number;
+        (*out)[order[i]] = Value::Int(rank);
+      } else {
+        (*out)[order[i]] = Value::Int(row_number);
+      }
+    }
+    return Status::OK();
+  }
+
+  SlidingAggregate aggregate(call.fn, call.is_count_star, call.output_type);
+
+  if (call.frame.range_mode) {
+    // RANGE frames: the window covers rows whose (single, ascending,
+    // numeric) order key lies within a value distance of the current
+    // key. Both value bounds are non-decreasing, so the same
+    // two-pointer sweep applies with key comparisons.
+    const auto key_at = [&](size_t sorted_index) -> const Value& {
+      return keys[order[sorted_index]][np];
+    };
+    if (!call.frame.lo_unbounded && !call.frame.hi_unbounded &&
+        call.frame.lo > call.frame.hi) {
+      // Inverted bounds: every frame is empty. Mirror the ROWS empty-
+      // frame convention (COUNT = 0, others NULL) instead of falling
+      // through to the sweep, whose pop-before-push order would
+      // otherwise momentarily aggregate rows that are not in any frame.
+      for (size_t i = part_start; i < part_end; ++i) {
+        (*out)[order[i]] =
+            call.fn == AggFn::kCount ? Value::Int(0) : Value::Null();
+      }
+      return Status::OK();
+    }
+    size_t next_push = part_start;
+    size_t next_pop = part_start;
+    for (size_t i = part_start; i < part_end; ++i) {
+      if (key_at(i).is_null()) {
+        return Status::ExecutionError(
+            "RANGE frame over NULL ORDER BY keys is not supported");
+      }
+      if (!key_at(i).is_numeric()) {
+        return Status::ExecutionError(
+            std::string("RANGE frames require a numeric ORDER BY key, got ") +
+            DataTypeName(key_at(i).type()));
+      }
+      const double key = key_at(i).ToDouble();
+      const double lo_bound = key + static_cast<double>(call.frame.lo);
+      const double hi_bound = key + static_cast<double>(call.frame.hi);
+      while (next_push < part_end &&
+             (call.frame.hi_unbounded ||
+              (!key_at(next_push).is_null() &&
+               key_at(next_push).is_numeric() &&
+               key_at(next_push).ToDouble() <= hi_bound))) {
+        const size_t row_index = order[next_push];
+        aggregate.Push(call.is_count_star ? Value::Int(1) : ctx.args[row_index],
+                       next_push);
+        ++next_push;
+      }
+      if (!call.frame.lo_unbounded) {
+        while (next_pop < part_end && next_pop < next_push &&
+               key_at(next_pop).ToDouble() < lo_bound) {
+          ++next_pop;
+        }
+        aggregate.PopBefore(next_pop);
+      }
+      if (aggregate.overflowed()) {
+        return Status::ExecutionError(
+            "integer overflow in windowed SUM (RANGE frame at key " +
+            key_at(i).ToString() + ")");
+      }
+      (*out)[order[i]] = aggregate.Current();
+    }
+    return Status::OK();
+  }
+
+  // Two-pointer sweep: both frame endpoints are monotone in the row
+  // index, so each partition row is pushed and popped exactly once
+  // (the paper's pipelined O(1)-per-row scheme).
+  size_t next_push = part_start;
+  const int64_t s = static_cast<int64_t>(part_start);
+  const int64_t e = static_cast<int64_t>(part_end);
+  for (size_t i = part_start; i < part_end; ++i) {
+    const int64_t ii = static_cast<int64_t>(i);
+    const int64_t target_lo =
+        call.frame.lo_unbounded ? s : std::max(s, ii + call.frame.lo);
+    const int64_t target_hi =
+        call.frame.hi_unbounded ? e - 1 : std::min(e - 1, ii + call.frame.hi);
+    while (static_cast<int64_t>(next_push) <= target_hi) {
+      const size_t row_index = order[next_push];
+      aggregate.Push(call.is_count_star ? Value::Int(1) : ctx.args[row_index],
+                     next_push);
+      ++next_push;
+    }
+    aggregate.PopBefore(static_cast<size_t>(std::max<int64_t>(target_lo, 0)));
+    if (target_hi < target_lo) {
+      // Empty frame: COUNT = 0, others NULL.
+      (*out)[order[i]] =
+          call.fn == AggFn::kCount ? Value::Int(0) : Value::Null();
+    } else {
+      if (aggregate.overflowed()) {
+        return Status::ExecutionError(
+            "integer overflow in windowed SUM (row " +
+            std::to_string(i - part_start + 1) + " of partition)");
+      }
+      (*out)[order[i]] = aggregate.Current();
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowOp::NextImpl(Row* row, bool* eof) {
   if (pos_ >= rows_.size()) {
     *eof = true;
     return Status::OK();

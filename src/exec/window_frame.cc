@@ -1,5 +1,8 @@
 #include "exec/window_frame.h"
 
+#include <cmath>
+#include <cstdint>
+
 #include "common/logging.h"
 
 namespace rfv {
@@ -13,7 +16,21 @@ void SlidingAggregate::Reset() {
   non_null_ = 0;
   sum_int_ = 0;
   sum_double_ = 0;
+  comp_double_ = 0;
   entries_.clear();
+}
+
+void SlidingAggregate::AddDouble(double v) {
+  // Neumaier's variant of Kahan summation: the compensation term picks
+  // up the low-order bits lost when the smaller magnitude operand is
+  // absorbed into the larger one.
+  const double t = sum_double_ + v;
+  if (std::abs(sum_double_) >= std::abs(v)) {
+    comp_double_ += (sum_double_ - t) + v;
+  } else {
+    comp_double_ += (v - t) + sum_double_;
+  }
+  sum_double_ = t;
 }
 
 void SlidingAggregate::Push(const Value& value, size_t pos) {
@@ -36,7 +53,7 @@ void SlidingAggregate::Push(const Value& value, size_t pos) {
     if (out_type_ == DataType::kInt64 && fn_ == AggFn::kSum) {
       sum_int_ += value.AsInt();
     } else if (fn_ == AggFn::kSum || fn_ == AggFn::kAvg) {
-      sum_double_ += value.ToDouble();
+      AddDouble(value.ToDouble());
     }
   }
   // COUNT needs no stored values, but removal accounting does.
@@ -59,11 +76,18 @@ void SlidingAggregate::PopBefore(size_t pos) {
       if (out_type_ == DataType::kInt64 && fn_ == AggFn::kSum) {
         sum_int_ -= e.value.AsInt();
       } else if (fn_ == AggFn::kSum || fn_ == AggFn::kAvg) {
-        sum_double_ -= e.value.ToDouble();
+        AddDouble(-e.value.ToDouble());
       }
     }
     entries_.pop_front();
   }
+}
+
+bool SlidingAggregate::overflowed() const {
+  if (fn_ != AggFn::kSum || out_type_ != DataType::kInt64) return false;
+  if (non_null_ == 0) return false;
+  return sum_int_ > static_cast<__int128>(INT64_MAX) ||
+         sum_int_ < static_cast<__int128>(INT64_MIN);
 }
 
 Value SlidingAggregate::Current() const {
@@ -72,11 +96,13 @@ Value SlidingAggregate::Current() const {
       return Value::Int(is_count_star_ ? rows_ : non_null_);
     case AggFn::kSum:
       if (non_null_ == 0) return Value::Null();
-      return out_type_ == DataType::kInt64 ? Value::Int(sum_int_)
-                                           : Value::Double(sum_double_);
+      return out_type_ == DataType::kInt64
+                 ? Value::Int(static_cast<int64_t>(sum_int_))
+                 : Value::Double(sum_double_ + comp_double_);
     case AggFn::kAvg:
       if (non_null_ == 0) return Value::Null();
-      return Value::Double(sum_double_ / static_cast<double>(non_null_));
+      return Value::Double((sum_double_ + comp_double_) /
+                           static_cast<double>(non_null_));
     case AggFn::kMin:
     case AggFn::kMax:
       if (entries_.empty()) return Value::Null();

@@ -40,11 +40,23 @@ class SlidingAggregate {
   /// 0 for empty COUNT).
   Value Current() const;
 
+  /// True when an INT64 SUM's current window total does not fit in
+  /// int64_t. Checked against the *current* total only: the 128-bit
+  /// accumulator tolerates transient out-of-range values while the
+  /// sweep pushes ahead of popping, so a superset frame that briefly
+  /// overshoots does not poison frames whose true sum is in range.
+  bool overflowed() const;
+
  private:
   struct Entry {
     size_t pos;
     Value value;  ///< NULL entries participate in COUNT(*) only
   };
+
+  /// Neumaier-compensated accumulation into sum_double_/comp_double_.
+  /// Removal adds the negated value, so long sliding windows do not
+  /// accumulate cancellation drift the way a bare += / -= pair does.
+  void AddDouble(double v);
 
   AggFn fn_;
   bool is_count_star_;
@@ -53,8 +65,11 @@ class SlidingAggregate {
   // SUM/COUNT/AVG state.
   int64_t rows_ = 0;       ///< rows in window (COUNT(*))
   int64_t non_null_ = 0;   ///< non-NULL arguments in window
-  int64_t sum_int_ = 0;
+  /// 128-bit so any window of int64 values is exactly representable;
+  /// overflow is reported (overflowed()) rather than wrapped.
+  __int128 sum_int_ = 0;
   double sum_double_ = 0;
+  double comp_double_ = 0;  ///< Neumaier compensation term
 
   /// Window contents for removal accounting (SUM/COUNT/AVG) or the
   /// monotonic deque (MIN/MAX; entries kept in extreme-first order).

@@ -103,7 +103,8 @@ std::string AstExpr::ToString() const {
         }
         if (over->has_frame) {
           if (space) os << " ";
-          os << "ROWS BETWEEN " << FrameBoundToString(over->frame_lo)
+          os << (over->range_mode ? "RANGE BETWEEN " : "ROWS BETWEEN ")
+             << FrameBoundToString(over->frame_lo)
              << " AND " << FrameBoundToString(over->frame_hi);
         }
         os << ")";

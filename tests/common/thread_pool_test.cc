@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rfv {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&count] { ++count; });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  TaskGroup group(&pool);
+  group.Submit([&ran] { ran = true; });
+  group.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    // The single worker serializes these; some are still queued when the
+    // destructor runs, and all of them must execute anyway.
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, GroupsAreIndependentOnOnePool) {
+  ThreadPool pool(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  TaskGroup ga(&pool);
+  TaskGroup gb(&pool);
+  for (int i = 0; i < 20; ++i) {
+    ga.Submit([&a] { ++a; });
+    gb.Submit([&b] { ++b; });
+  }
+  ga.Wait();
+  EXPECT_EQ(a.load(), 20);  // ga.Wait() does not depend on gb's tasks
+  gb.Wait();
+  EXPECT_EQ(b.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAfterMoreSubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  group.Submit([&count] { ++count; });
+  group.Wait();
+  EXPECT_EQ(count.load(), 1);
+  group.Submit([&count] { ++count; });
+  group.Submit([&count] { ++count; });
+  group.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&group, &count] {
+      for (int i = 0; i < 250; ++i) {
+        group.Submit([&count] { ++count; });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  group.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastFourWorkers) {
+  // Sized for cross-thread coverage even on single-core CI machines.
+  ASSERT_NE(ThreadPool::Shared(), nullptr);
+  EXPECT_GE(ThreadPool::Shared()->num_threads(), 4u);
+  EXPECT_EQ(ThreadPool::Shared(), ThreadPool::Shared());
+}
+
+}  // namespace
+}  // namespace rfv

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 namespace rfv {
 namespace {
 
@@ -95,6 +98,83 @@ TEST(SlidingAggregateTest, MinIgnoresNullPushes) {
   EXPECT_TRUE(agg.Current().is_null());
   agg.Push(Value::Double(2), 1);
   EXPECT_EQ(agg.Current(), Value::Double(2));
+}
+
+TEST(SlidingAggregateTest, MinMaxDequeAcrossRepeatedPops) {
+  // Slide a width-3 window over values whose extreme repeatedly leaves
+  // the window: the deque must always resurface the next-best entry.
+  const double vals[] = {9, 1, 8, 0, 7, 2, 6, 3};
+  SlidingAggregate mn(AggFn::kMin, false, DataType::kDouble);
+  SlidingAggregate mx(AggFn::kMax, false, DataType::kDouble);
+  for (size_t i = 0; i < 8; ++i) {
+    mn.Push(Value::Double(vals[i]), i);
+    mx.Push(Value::Double(vals[i]), i);
+    if (i >= 2) {
+      mn.PopBefore(i - 2);
+      mx.PopBefore(i - 2);
+      double lo = vals[i];
+      double hi = vals[i];
+      for (size_t j = i - 2; j <= i; ++j) {
+        lo = std::min(lo, vals[j]);
+        hi = std::max(hi, vals[j]);
+      }
+      EXPECT_EQ(mn.Current(), Value::Double(lo)) << "window ending " << i;
+      EXPECT_EQ(mx.Current(), Value::Double(hi)) << "window ending " << i;
+    }
+  }
+}
+
+TEST(SlidingAggregateTest, CompensatedDoubleSumSurvivesLargeCancellation) {
+  // Push 1e16, then small values, then slide the big value out. A bare
+  // running sum loses the small addends inside the 1e16-magnitude
+  // accumulator; Neumaier compensation recovers them.
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kDouble);
+  agg.Push(Value::Double(1e16), 0);
+  agg.Push(Value::Double(0.1), 1);
+  agg.Push(Value::Double(0.2), 2);
+  agg.PopBefore(1);  // window = {0.1, 0.2}
+  EXPECT_DOUBLE_EQ(agg.Current().AsDouble(), 0.1 + 0.2);
+}
+
+TEST(SlidingAggregateTest, CompensatedSumStableOverLongSlide) {
+  // Long window sliding across alternating huge/tiny values: the
+  // compensated total of the tiny values must not drift even after the
+  // huge ones have been added and removed thousands of times.
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kDouble);
+  const int kSteps = 5000;
+  const int kWidth = 64;
+  for (int i = 0; i < kSteps; ++i) {
+    const double v = (i % 2 == 0) ? 1e12 : 0.001;
+    agg.Push(Value::Double(v), static_cast<size_t>(i));
+    if (i >= kWidth) {
+      agg.PopBefore(static_cast<size_t>(i - kWidth + 1));
+    }
+  }
+  // Final window: positions [kSteps-kWidth, kSteps): 32 huge + 32 tiny.
+  const double expected = 32 * 1e12 + 32 * 0.001;
+  EXPECT_DOUBLE_EQ(agg.Current().AsDouble(), expected);
+}
+
+TEST(SlidingAggregateTest, Int64OverflowFlagTracksCurrentWindow) {
+  SlidingAggregate agg(AggFn::kSum, false, DataType::kInt64);
+  const int64_t huge = std::numeric_limits<int64_t>::max() - 1;
+  agg.Push(Value::Int(huge), 0);
+  EXPECT_FALSE(agg.overflowed());
+  agg.Push(Value::Int(huge), 1);
+  EXPECT_TRUE(agg.overflowed());  // 2*(max-1) exceeds int64
+  agg.PopBefore(1);
+  EXPECT_FALSE(agg.overflowed());  // back in range after the pop
+  EXPECT_EQ(agg.Current(), Value::Int(huge));
+}
+
+TEST(SlidingAggregateTest, OverflowFlagOffForDoubleAndOtherFns) {
+  SlidingAggregate dsum(AggFn::kSum, false, DataType::kDouble);
+  dsum.Push(Value::Double(1e308), 0);
+  dsum.Push(Value::Double(1e308), 1);
+  EXPECT_FALSE(dsum.overflowed());
+  SlidingAggregate cnt(AggFn::kCount, true, DataType::kInt64);
+  cnt.Push(Value::Int(1), 0);
+  EXPECT_FALSE(cnt.overflowed());
 }
 
 }  // namespace

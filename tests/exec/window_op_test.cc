@@ -440,6 +440,62 @@ TEST(WindowOpTest, MultiColumnWindowOrdering) {
   EXPECT_DOUBLE_EQ(rs.at(3, 2).AsDouble(), 100);
 }
 
+TEST(WindowOpTest, ForwardFrameEmptyAtPartitionEnd) {
+  // ROWS BETWEEN 2 FOLLOWING AND 4 FOLLOWING: the last two rows have an
+  // empty frame — SUM/AVG/MIN/MAX must be NULL, COUNT must be 0.
+  Database db;
+  CreateSeqTable(db, 6);
+  const ResultSet rs = MustExecute(
+      db, "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+          "FOLLOWING AND 4 FOLLOWING), COUNT(val) OVER (ORDER BY pos ROWS "
+          "BETWEEN 2 FOLLOWING AND 4 FOLLOWING), MIN(val) OVER (ORDER BY "
+          "pos ROWS BETWEEN 2 FOLLOWING AND 4 FOLLOWING) FROM seq ORDER "
+          "BY pos");
+  ASSERT_EQ(rs.NumRows(), 6u);
+  for (size_t i = 4; i < 6; ++i) {
+    EXPECT_TRUE(rs.at(i, 1).is_null()) << "SUM row " << i;
+    EXPECT_EQ(rs.at(i, 2), Value::Int(0)) << "COUNT row " << i;
+    EXPECT_TRUE(rs.at(i, 3).is_null()) << "MIN row " << i;
+  }
+  EXPECT_FALSE(rs.at(3, 1).is_null());  // pos=4 still sees pos=6
+}
+
+TEST(WindowOpTest, RangeFrameEmptyOnKeyGaps) {
+  // Sparse keys: RANGE BETWEEN 1 FOLLOWING AND 2 FOLLOWING is empty for
+  // rows with no successor key within (key+1, key+2].
+  Database db;
+  MustExecute(db, "CREATE TABLE t (ts INTEGER, v DOUBLE)");
+  MustExecute(db, "INSERT INTO t VALUES (1, 10), (2, 20), (10, 100)");
+  const ResultSet rs = MustExecute(
+      db, "SELECT ts, SUM(v) OVER (ORDER BY ts RANGE BETWEEN 1 FOLLOWING "
+          "AND 2 FOLLOWING), COUNT(v) OVER (ORDER BY ts RANGE BETWEEN 1 "
+          "FOLLOWING AND 2 FOLLOWING) FROM t ORDER BY ts");
+  // ts=1 sees {2}=20; ts=2 and ts=10 see nothing.
+  EXPECT_DOUBLE_EQ(rs.at(0, 1).AsDouble(), 20);
+  EXPECT_EQ(rs.at(0, 2), Value::Int(1));
+  EXPECT_TRUE(rs.at(1, 1).is_null());
+  EXPECT_EQ(rs.at(1, 2), Value::Int(0));
+  EXPECT_TRUE(rs.at(2, 1).is_null());
+  EXPECT_EQ(rs.at(2, 2), Value::Int(0));
+}
+
+TEST(WindowOpTest, RankOverNullOrderKeys) {
+  // NULL order keys sort together (first) and are peers: they share one
+  // rank, and the next non-NULL key gets a gapped rank.
+  Database db;
+  MustExecute(db, "CREATE TABLE t (v DOUBLE)");
+  MustExecute(db, "INSERT INTO t VALUES (NULL), (NULL), (10), (10), (20)");
+  const ResultSet rs = MustExecute(
+      db, "SELECT v, RANK() OVER (ORDER BY v) AS r FROM t ORDER BY r, v");
+  ASSERT_EQ(rs.NumRows(), 5u);
+  EXPECT_TRUE(rs.at(0, 0).is_null());
+  EXPECT_EQ(rs.at(0, 1), Value::Int(1));
+  EXPECT_EQ(rs.at(1, 1), Value::Int(1));  // NULLs are rank peers
+  EXPECT_EQ(rs.at(2, 1), Value::Int(3));  // gap after the NULL tie
+  EXPECT_EQ(rs.at(3, 1), Value::Int(3));
+  EXPECT_EQ(rs.at(4, 1), Value::Int(5));
+}
+
 TEST(WindowOpTest, WindowOverEmptyTable) {
   Database db;
   CreateSeqTable(db, 0);

@@ -1,0 +1,269 @@
+// Partition-parallel window execution: the parallel path must be
+// value-identical to the single-threaded path, and the executor-side
+// RANGE/overflow guards must fail cleanly (Status, not wrong answers).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "expr/builder.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::MustExecute;
+using testutil::RowsEqual;
+
+// grp INTEGER, pos INTEGER, val DOUBLE: `groups` partitions of
+// `per_group` rows, deterministic values including negatives and a NULL
+// per group.
+void CreatePartitionedTable(Database& db, int groups, int per_group) {
+  MustExecute(db,
+              "CREATE TABLE pt (grp INTEGER, pos INTEGER, val DOUBLE)");
+  std::string insert = "INSERT INTO pt VALUES ";
+  bool first = true;
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 1; i <= per_group; ++i) {
+      if (!first) insert += ", ";
+      first = false;
+      const int v = ((g * 131 + i * 37 + 11) % 101) - 23;
+      insert += "(" + std::to_string(g) + ", " + std::to_string(i) + ", " +
+                (i == 7 ? "NULL" : std::to_string(v)) + ")";
+    }
+  }
+  MustExecute(db, insert);
+}
+
+class WindowParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreatePartitionedTable(serial_, kGroups, kPerGroup);
+    CreatePartitionedTable(parallel_, kGroups, kPerGroup);
+    serial_.options().exec.window_workers = 1;
+    parallel_.options().exec.window_workers = 4;
+    // Force the parallel path even though the table is small.
+    parallel_.options().exec.window_parallel_min_rows = 1;
+  }
+
+  static constexpr int kGroups = 12;
+  static constexpr int kPerGroup = 40;
+  Database serial_;
+  Database parallel_;
+};
+
+TEST_F(WindowParallelTest, ParallelMatchesSerial) {
+  const std::vector<std::string> queries = {
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 3 PRECEDING AND 2 FOLLOWING) FROM pt ORDER BY grp, pos",
+      "SELECT grp, pos, AVG(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 5 PRECEDING AND CURRENT ROW) FROM pt ORDER BY grp, pos",
+      "SELECT grp, pos, MIN(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 4 PRECEDING AND 4 FOLLOWING) FROM pt ORDER BY grp, pos",
+      "SELECT grp, pos, MAX(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "UNBOUNDED PRECEDING) FROM pt ORDER BY grp, pos",
+      "SELECT grp, pos, COUNT(val) OVER (PARTITION BY grp ORDER BY pos "
+      "ROWS BETWEEN 2 FOLLOWING AND 5 FOLLOWING) FROM pt ORDER BY grp, pos",
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos "
+      "RANGE BETWEEN 2 PRECEDING AND 2 FOLLOWING) FROM pt "
+      "ORDER BY grp, pos",
+      "SELECT grp, pos, RANK() OVER (PARTITION BY grp ORDER BY val) FROM "
+      "pt ORDER BY grp, pos",
+      "SELECT grp, pos, ROW_NUMBER() OVER (PARTITION BY grp ORDER BY val "
+      "DESC) FROM pt ORDER BY grp, pos",
+  };
+  for (const std::string& q : queries) {
+    EXPECT_TRUE(RowsEqual(MustExecute(serial_, q), MustExecute(parallel_, q)))
+        << q;
+  }
+}
+
+TEST_F(WindowParallelTest, AutoWorkerCountMatchesSerial) {
+  parallel_.options().exec.window_workers = 0;  // hardware concurrency
+  const std::string q =
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 3 PRECEDING AND 3 FOLLOWING) FROM pt ORDER BY grp, pos";
+  EXPECT_TRUE(RowsEqual(MustExecute(serial_, q), MustExecute(parallel_, q)));
+}
+
+TEST_F(WindowParallelTest, MoreWorkersThanPartitions) {
+  parallel_.options().exec.window_workers = 64;  // > kGroups
+  const std::string q =
+      "SELECT grp, pos, AVG(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 1 PRECEDING AND 1 FOLLOWING) FROM pt ORDER BY grp, pos";
+  EXPECT_TRUE(RowsEqual(MustExecute(serial_, q), MustExecute(parallel_, q)));
+}
+
+TEST_F(WindowParallelTest, MetricsReportWindowOperator) {
+  const ResultSet rs = MustExecute(
+      parallel_,
+      "SELECT grp, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS "
+      "BETWEEN 1 PRECEDING AND 1 FOLLOWING) FROM pt ORDER BY grp");
+  ASSERT_FALSE(rs.metrics().empty());
+  bool saw_window = false;
+  bool saw_scan = false;
+  for (const OperatorMetricsEntry& e : rs.metrics()) {
+    if (e.name == "window") {
+      saw_window = true;
+      EXPECT_EQ(e.metrics.rows_out, kGroups * kPerGroup);
+      EXPECT_EQ(e.metrics.peak_buffered_rows, kGroups * kPerGroup);
+      EXPECT_EQ(e.rows_in, kGroups * kPerGroup);
+    }
+    if (e.name == "scan") {
+      saw_scan = true;
+      EXPECT_EQ(e.metrics.rows_out, kGroups * kPerGroup);
+    }
+  }
+  EXPECT_TRUE(saw_window);
+  EXPECT_TRUE(saw_scan);
+  EXPECT_FALSE(rs.MetricsToString().empty());
+}
+
+// --- Executor-side guards, exercised on directly built operator trees
+// (the binder already rejects these shapes for SQL input). ---
+
+struct WhiteBoxFixture {
+  Database db;
+  Table* table = nullptr;
+  Schema scan_schema;
+
+  explicit WhiteBoxFixture(DataType key_type) {
+    Result<Table*> t = db.catalog()->CreateTable(
+        "wb", Schema({ColumnDef("k", key_type),
+                      ColumnDef("v", DataType::kInt64)}));
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    scan_schema = table->schema();
+  }
+
+  // SUM(v) OVER (ORDER BY k <frame>) as a raw WindowOp.
+  PhysicalOperatorPtr MakeWindow(WindowFrame frame, bool ascending,
+                                 AggFn fn = AggFn::kSum) {
+    WindowCall call;
+    call.kind = WindowFnKind::kAggregate;
+    call.fn = fn;
+    call.arg = eb::Col(1, DataType::kInt64, "v");
+    SortKey key;
+    key.expr = eb::Col(0, scan_schema.column(0).type, "k");
+    key.ascending = ascending;
+    call.order_by.push_back(std::move(key));
+    call.frame = frame;
+    call.output_name = "w";
+    call.output_type = DataType::kInt64;
+    Schema out = scan_schema;
+    out.AddColumn(ColumnDef("w", call.output_type));
+    std::vector<WindowCall> calls;
+    calls.push_back(std::move(call));
+    return PhysicalOperatorPtr(new WindowOp(
+        std::move(out),
+        PhysicalOperatorPtr(new TableScanOp(scan_schema, table)),
+        std::move(calls)));
+  }
+};
+
+WindowFrame RangeFrame(int64_t lo, int64_t hi) {
+  WindowFrame f;
+  f.lo_unbounded = false;
+  f.hi_unbounded = false;
+  f.lo = lo;
+  f.hi = hi;
+  f.range_mode = true;
+  return f;
+}
+
+TEST(WindowRangeGuardTest, DescendingRangeKeyRejected) {
+  WhiteBoxFixture fx(DataType::kInt64);
+  ASSERT_TRUE(
+      fx.table->InsertBatch({Row({Value::Int(1), Value::Int(10)})}).ok());
+  PhysicalOperatorPtr op =
+      fx.MakeWindow(RangeFrame(-1, 1), /*ascending=*/false);
+  const Status s = op->Open();
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.message().find("ascending"), std::string::npos);
+}
+
+TEST(WindowRangeGuardTest, NonNumericRangeKeyRejected) {
+  WhiteBoxFixture fx(DataType::kString);
+  ASSERT_TRUE(
+      fx.table->InsertBatch({Row({Value::String("a"), Value::Int(10)})})
+          .ok());
+  PhysicalOperatorPtr op =
+      fx.MakeWindow(RangeFrame(-1, 1), /*ascending=*/true);
+  const Status s = op->Open();
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.message().find("numeric"), std::string::npos);
+}
+
+TEST(WindowRangeGuardTest, InvertedRangeBoundsGiveEmptyFrames) {
+  WhiteBoxFixture fx(DataType::kInt64);
+  ASSERT_TRUE(fx.table
+                  ->InsertBatch({Row({Value::Int(1), Value::Int(10)}),
+                                 Row({Value::Int(2), Value::Int(20)}),
+                                 Row({Value::Int(3), Value::Int(30)})})
+                  .ok());
+  // lo > hi: every frame is empty — SUM must be NULL, COUNT must be 0.
+  PhysicalOperatorPtr sum =
+      fx.MakeWindow(RangeFrame(2, 1), /*ascending=*/true);
+  Result<std::vector<Row>> rows = ExecuteToVector(sum.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  for (const Row& r : *rows) EXPECT_TRUE(r[2].is_null());
+
+  PhysicalOperatorPtr count =
+      fx.MakeWindow(RangeFrame(2, 1), /*ascending=*/true, AggFn::kCount);
+  rows = ExecuteToVector(count.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  for (const Row& r : *rows) EXPECT_EQ(r[2], Value::Int(0));
+}
+
+TEST(WindowOverflowTest, Int64SumOverflowIsAnError) {
+  Database db;
+  Result<Table*> t = db.catalog()->CreateTable(
+      "big", Schema({ColumnDef("pos", DataType::kInt64),
+                     ColumnDef("v", DataType::kInt64)}));
+  ASSERT_TRUE(t.ok());
+  const int64_t huge = std::numeric_limits<int64_t>::max() - 1;
+  ASSERT_TRUE((*t)->InsertBatch({Row({Value::Int(1), Value::Int(huge)}),
+                                 Row({Value::Int(2), Value::Int(huge)})})
+                  .ok());
+  const Result<ResultSet> r = db.Execute(
+      "SELECT pos, SUM(v) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND "
+      "CURRENT ROW) FROM big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(r.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(WindowOverflowTest, TransientOverflowOutsideAnyFrameIsFine) {
+  // The sweep pushes row i+1 before popping row i-1, so the accumulator
+  // transiently holds a superset of any single frame. That superset may
+  // exceed int64 even when every real frame fits — this must NOT error.
+  Database db;
+  Result<Table*> t = db.catalog()->CreateTable(
+      "big", Schema({ColumnDef("pos", DataType::kInt64),
+                     ColumnDef("v", DataType::kInt64)}));
+  ASSERT_TRUE(t.ok());
+  const int64_t big = std::numeric_limits<int64_t>::max() / 2 + 10;
+  ASSERT_TRUE((*t)->InsertBatch({Row({Value::Int(1), Value::Int(big)}),
+                                 Row({Value::Int(2), Value::Int(big)}),
+                                 Row({Value::Int(3), Value::Int(big)})})
+                  .ok());
+  // Frame = current row only: every real frame sums to `big` (fits),
+  // but while the sweep advances, row i+1 is pushed before row i is
+  // popped, so the accumulator transiently holds 2*big (overflow).
+  const Result<ResultSet> r = db.Execute(
+      "SELECT pos, SUM(v) OVER (ORDER BY pos ROWS BETWEEN CURRENT ROW AND "
+      "CURRENT ROW) FROM big ORDER BY pos");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->at(0, 1), Value::Int(big));
+  EXPECT_EQ(r->at(1, 1), Value::Int(big));
+  EXPECT_EQ(r->at(2, 1), Value::Int(big));
+}
+
+}  // namespace
+}  // namespace rfv
