@@ -14,8 +14,12 @@
 // index grows ~quadratically; self join with index ≈ linear with a small
 // constant multiple of native.
 
+// Set RFVIEW_TRACE=1 to run every query with lifecycle tracing enabled
+// (measures the tracing overhead against the default untraced run).
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "workload.h"
@@ -38,6 +42,9 @@ void RunQuery(benchmark::State& state, const char* tag, const char* query,
   Database db;
   BuildSeqTable(&db, n, with_index);
   db.options().exec.enable_index_nested_loop_join = allow_index_join;
+  const char* trace_env = std::getenv("RFVIEW_TRACE");
+  db.options().enable_tracing =
+      trace_env != nullptr && std::string(trace_env) == "1";
   for (auto _ : state) {
     const ResultSet rs = MustExecute(&db, query);
     benchmark::DoNotOptimize(rs.NumRows());

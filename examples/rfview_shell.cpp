@@ -15,11 +15,14 @@
 // Statements may span lines; a trailing ';' executes.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/logging.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "db/csv.h"
 #include "db/database.h"
 
@@ -35,8 +38,24 @@ void PrintHelp() {
       "  \\force auto|maxoa|minoa      derivation algorithm choice\n"
       "  \\import <table> <file.csv>   load CSV into an existing table\n"
       "  \\export <table> <file.csv>   write a table as CSV\n"
+      "  \\metrics [save <file>]       process metrics (Prometheus text)\n"
+      "  \\trace on|off    record query-lifecycle traces\n"
+      "  \\trace show      spans of the most recent traced query\n"
+      "  \\trace export <file>         last trace as Chrome trace JSON\n"
+      "  \\log debug|info|warn|error   stderr log threshold\n"
       "  \\quit            exit\n"
-      "any other input: SQL, terminated by ';'\n");
+      "any other input: SQL, terminated by ';'\n"
+      "  (.metrics is accepted as an alias for \\metrics)\n");
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::printf("error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return true;
 }
 
 bool HandleMeta(rfv::Database& db, const std::string& line) {
@@ -64,6 +83,43 @@ bool HandleMeta(rfv::Database& db, const std::string& line) {
     db.options().force_method = rfv::DerivationMethod::kMinoa;
   } else if (lower == "\\force auto") {
     db.options().force_method.reset();
+  } else if (lower == "\\metrics" || lower == ".metrics") {
+    std::printf("%s", rfv::Database::MetricsText().c_str());
+  } else if (lower.rfind("\\metrics save ", 0) == 0) {
+    const std::string path = line.substr(std::string("\\metrics save ").size());
+    if (WriteFileOrComplain(path, rfv::Database::MetricsText())) {
+      std::printf("metrics written to %s\n", path.c_str());
+    }
+  } else if (lower == "\\trace on") {
+    db.options().enable_tracing = true;
+  } else if (lower == "\\trace off") {
+    db.options().enable_tracing = false;
+  } else if (lower == "\\trace show") {
+    const std::shared_ptr<rfv::QueryTrace> trace =
+        rfv::Tracer::Global().Latest();
+    if (trace == nullptr) {
+      std::printf("(no trace recorded — \\trace on, then run a query)\n");
+    } else {
+      std::printf("%s", trace->ToText().c_str());
+    }
+  } else if (lower.rfind("\\trace export ", 0) == 0) {
+    const std::string path = line.substr(std::string("\\trace export ").size());
+    const std::shared_ptr<rfv::QueryTrace> trace =
+        rfv::Tracer::Global().Latest();
+    if (trace == nullptr) {
+      std::printf("(no trace recorded — \\trace on, then run a query)\n");
+    } else if (WriteFileOrComplain(path, trace->ToChromeJson())) {
+      std::printf("trace %lld written to %s (load in chrome://tracing)\n",
+                  static_cast<long long>(trace->id()), path.c_str());
+    }
+  } else if (lower == "\\log debug") {
+    rfv::SetLogLevel(rfv::LogLevel::kDebug);
+  } else if (lower == "\\log info") {
+    rfv::SetLogLevel(rfv::LogLevel::kInfo);
+  } else if (lower == "\\log warn") {
+    rfv::SetLogLevel(rfv::LogLevel::kWarn);
+  } else if (lower == "\\log error") {
+    rfv::SetLogLevel(rfv::LogLevel::kError);
   } else if (lower.rfind("\\import ", 0) == 0 ||
              lower.rfind("\\export ", 0) == 0) {
     std::istringstream parts(line.substr(1));
@@ -104,7 +160,8 @@ int main() {
     std::printf(buffer.empty() ? "rfview> " : "   ...> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+    if (buffer.empty() && !line.empty() &&
+        (line[0] == '\\' || line.rfind(".metrics", 0) == 0)) {
       if (!HandleMeta(db, line)) break;
       continue;
     }

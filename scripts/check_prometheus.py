@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition file (CI smoke check).
+
+Checks the subset of the format the engine emits: `# HELP` / `# TYPE`
+comments, `name{labels} value` samples, counter/histogram conventions
+(histograms need _bucket/_sum/_count series and a `+Inf` bucket).
+Exits non-zero with a line-numbered message on the first violation.
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|Inf|NaN))$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$')
+
+
+def fail(lineno, line, why):
+    sys.exit(f"{sys.argv[1]}:{lineno}: {why}\n  {line}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <metrics.prom>")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    typed = {}  # family name -> declared type
+    samples = {}  # family name -> sample count
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                fail(lineno, line, "malformed comment line")
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram", "summary"):
+                    fail(lineno, line, f"unknown metric type {parts[3]!r}")
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = METRIC_RE.match(line)
+        if m is None:
+            fail(lineno, line, "not a valid sample line")
+        labels = m.group("labels")
+        if labels is not None:
+            body = labels[1:-1]
+            for pair in filter(None, body.split(",")):
+                if not LABEL_RE.match(pair):
+                    fail(lineno, line, f"bad label pair {pair!r}")
+        name = m.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        samples[family] = samples.get(family, 0) + 1
+        if name.endswith("_bucket") and (labels is None or "le=" not in labels):
+            fail(lineno, line, "_bucket sample without an le label")
+
+    if not samples:
+        sys.exit(f"{sys.argv[1]}: no samples found")
+    for family, mtype in typed.items():
+        if family not in samples:
+            fail(0, family, "declared family has no samples")
+        if mtype == "histogram":
+            text = "\n".join(lines)
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family + suffix not in text:
+                    sys.exit(f"histogram {family} missing {suffix} series")
+            if f'{family}_bucket' in text and 'le="+Inf"' not in text:
+                sys.exit(f"histogram {family} has no +Inf bucket")
+    print(
+        f"ok: {sum(samples.values())} samples across "
+        f"{len(samples)} families ({len(typed)} typed)"
+    )
+
+
+if __name__ == "__main__":
+    main()

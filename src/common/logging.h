@@ -1,12 +1,47 @@
 #ifndef RFVIEW_COMMON_LOGGING_H_
 #define RFVIEW_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 
 namespace rfv {
+
+/// Severity levels for RFV_LOG. Distinct from RFV_CHECK: logging never
+/// aborts — it is how the tracer/rewriter narrate decisions (which view
+/// was picked, why a candidate was rejected) without check semantics.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+/// Runtime log threshold (messages below it are dropped after the
+/// compile-time gate). Default: kWarn, so library internals stay quiet
+/// unless a caller opts in (the shell's `\log debug|info|warn|error`).
+inline std::atomic<int>& RuntimeLogLevel() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+inline void SetLogLevel(LogLevel level) {
+  RuntimeLogLevel().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 /// Aborts the process with a formatted message. Used by RFV_CHECK; check
@@ -20,8 +55,46 @@ namespace internal_logging {
   std::abort();
 }
 
+/// Stream collector for one RFV_LOG statement; flushes a single line to
+/// stderr on destruction (keeps concurrent log lines unsheared).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level)
+      : file_(file), line_(line), level_(level) {}
+  ~LogMessage() {
+    std::fprintf(stderr, "[rfview] %s %s:%d: %s\n", LogLevelName(level_),
+                 file_, line_, stream_.str().c_str());
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
 }  // namespace internal_logging
 }  // namespace rfv
+
+/// Compile-time minimum level: statements below it compile to nothing
+/// (the condition is a constant). Override with
+/// -DRFV_MIN_LOG_LEVEL=2 to strip DEBUG/INFO from release builds.
+#ifndef RFV_MIN_LOG_LEVEL
+#define RFV_MIN_LOG_LEVEL 0
+#endif
+
+/// Leveled stderr logging:
+///   RFV_LOG(kInfo) << "chose " << view->view_name << " via MaxOA";
+/// The message body is not evaluated when the level is filtered out.
+#define RFV_LOG(level)                                                    \
+  if (static_cast<int>(::rfv::LogLevel::level) < RFV_MIN_LOG_LEVEL) {     \
+  } else if (static_cast<int>(::rfv::LogLevel::level) <                   \
+             ::rfv::RuntimeLogLevel().load(std::memory_order_relaxed)) {  \
+  } else                                                                  \
+    ::rfv::internal_logging::LogMessage(__FILE__, __LINE__,               \
+                                        ::rfv::LogLevel::level)           \
+        .stream()
 
 /// Internal invariant check. Active in all build types: the cost is
 /// negligible outside inner loops and silent corruption is worse than a

@@ -1,0 +1,192 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace rfv {
+
+namespace {
+
+/// Thread-local ambient trace + span nesting depth. Worker threads that
+/// never attach a trace see nullptr and record nothing.
+thread_local QueryTrace* g_current_trace = nullptr;
+thread_local int g_span_depth = 0;
+
+uint64_t ThisThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+// --- QueryTrace -------------------------------------------------------------
+
+void QueryTrace::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> QueryTrace::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  std::vector<TraceEvent> snapshot = events();
+  // Spans are recorded at End, so parents (which close last) appear
+  // after their children; chrome://tracing nests by timestamps, but
+  // sorted output is friendlier to eyeballs and diff-based tests.
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) {
+                       return a.start_us < b.start_us;
+                     }
+                     return a.dur_us > b.dur_us;  // parent first
+                   });
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"" + JsonEscape(e.name) +
+           "\", \"cat\": \"query\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(e.start_us) +
+           ", \"dur\": " + std::to_string(e.dur_us) +
+           ", \"pid\": " + std::to_string(id_) +
+           ", \"tid\": " + std::to_string(e.tid % 100000);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + JsonEscape(e.args[i].first) + "\": \"" +
+               JsonEscape(e.args[i].second) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string QueryTrace::ToText() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) {
+                       return a.start_us < b.start_us;
+                     }
+                     return a.dur_us > b.dur_us;
+                   });
+  std::string out;
+  for (const TraceEvent& e : snapshot) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%*s%-24s %8.3f ms",
+                  e.depth * 2, "", e.name.c_str(),
+                  static_cast<double>(e.dur_us) / 1e3);
+    out += line;
+    for (const auto& [key, value] : e.args) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all users
+  return *tracer;
+}
+
+std::shared_ptr<QueryTrace> Tracer::StartQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<QueryTrace>(next_id_++);
+}
+
+void Tracer::Retire(std::shared_ptr<QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back(std::move(trace));
+  if (retired_.size() > kMaxRetired) {
+    retired_.erase(retired_.begin(),
+                   retired_.begin() + (retired_.size() - kMaxRetired));
+  }
+}
+
+std::shared_ptr<QueryTrace> Tracer::Find(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : retired_) {
+    if (t->id() == id) return t;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<QueryTrace> Tracer::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.empty() ? nullptr : retired_.back();
+}
+
+// --- ambient attachment & spans ---------------------------------------------
+
+QueryTrace* CurrentTrace() { return g_current_trace; }
+
+ScopedTraceAttach::ScopedTraceAttach(QueryTrace* trace)
+    : previous_(g_current_trace), previous_depth_(g_span_depth) {
+  g_current_trace = trace;
+  g_span_depth = 0;
+}
+
+ScopedTraceAttach::~ScopedTraceAttach() {
+  g_current_trace = previous_;
+  g_span_depth = previous_depth_;
+}
+
+TraceSpan::TraceSpan(const char* name) : trace_(g_current_trace) {
+  if (trace_ == nullptr) return;
+  event_.name = name;
+  event_.start_us = trace_->NowUs();
+  event_.depth = g_span_depth++;
+  event_.tid = ThisThreadId();
+}
+
+void TraceSpan::AddArg(const std::string& key, std::string value) {
+  if (trace_ == nullptr) return;
+  event_.args.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::End() {
+  if (trace_ == nullptr) return;
+  event_.dur_us = trace_->NowUs() - event_.start_us;
+  --g_span_depth;
+  trace_->Record(std::move(event_));
+  trace_ = nullptr;
+}
+
+}  // namespace rfv

@@ -1,0 +1,163 @@
+#ifndef RFVIEW_COMMON_TRACE_H_
+#define RFVIEW_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfv {
+
+/// Query-lifecycle tracing.
+///
+/// A `QueryTrace` collects timed spans (parse, bind, plan, rewrite,
+/// execute, ...) for one query. Spans are recorded through the RAII
+/// `TraceSpan`, which finds the active trace through a thread-local
+/// pointer installed by `ScopedTraceAttach` — so instrumentation points
+/// never need a trace argument threaded through their signatures, and
+/// when no trace is attached a span is a single thread-local null check
+/// (no clock reads, no allocation).
+///
+///   std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+///   {
+///     ScopedTraceAttach attach(trace.get());
+///     TraceSpan span("parse");
+///     span.AddArg("sql", sql);
+///     ...  // nested TraceSpans record child spans
+///   }
+///   std::string json = trace->ToChromeJson();  // chrome://tracing
+///   Tracer::Global().Retire(trace);
+///
+/// The exported JSON is a Chrome trace-event array of complete ("ph":
+/// "X") events, loadable in chrome://tracing or Perfetto.
+
+/// One finished span.
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;  ///< microseconds since the trace epoch
+  int64_t dur_us = 0;
+  int depth = 0;         ///< nesting level at record time (0 = root)
+  uint64_t tid = 0;      ///< recording thread (hashed id)
+  /// Span annotations (view names, derivability verdicts, row counts...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe collector of one query's spans, keyed by a process-unique
+/// query id assigned by the Tracer.
+class QueryTrace {
+ public:
+  explicit QueryTrace(int64_t id)
+      : id_(id), epoch_(std::chrono::steady_clock::now()) {}
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  int64_t id() const { return id_; }
+
+  /// Microseconds elapsed since this trace was created.
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Appends a finished span (thread-safe: parallel workers may record).
+  void Record(TraceEvent event);
+
+  /// Snapshot of the recorded spans, in record order.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON: an array of "ph":"X" complete events with
+  /// ts/dur in microseconds. Loadable in chrome://tracing.
+  std::string ToChromeJson() const;
+
+  /// Indented text rendering (one span per line, for shell output).
+  std::string ToText() const;
+
+ private:
+  const int64_t id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide trace registry: assigns query ids and keeps a ring of
+/// the most recently retired traces for later inspection/export.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Starts a new trace with a fresh query id.
+  std::shared_ptr<QueryTrace> StartQuery();
+
+  /// Files a finished trace into the ring (evicting the oldest beyond
+  /// kMaxRetired).
+  void Retire(std::shared_ptr<QueryTrace> trace);
+
+  /// Retired trace by query id; nullptr when evicted/unknown.
+  std::shared_ptr<QueryTrace> Find(int64_t id) const;
+
+  /// Most recently retired trace; nullptr when none.
+  std::shared_ptr<QueryTrace> Latest() const;
+
+  static constexpr size_t kMaxRetired = 32;
+
+ private:
+  Tracer() = default;
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;
+  std::vector<std::shared_ptr<QueryTrace>> retired_;
+};
+
+/// The trace attached to the current thread (nullptr = tracing off).
+QueryTrace* CurrentTrace();
+
+/// RAII attachment of a trace to the current thread. Nestable: restores
+/// the previous attachment on destruction.
+class ScopedTraceAttach {
+ public:
+  explicit ScopedTraceAttach(QueryTrace* trace);
+  ~ScopedTraceAttach();
+
+  ScopedTraceAttach(const ScopedTraceAttach&) = delete;
+  ScopedTraceAttach& operator=(const ScopedTraceAttach&) = delete;
+
+ private:
+  QueryTrace* previous_;
+  int previous_depth_;
+};
+
+/// RAII span over the current thread's trace. No-op (one null check)
+/// when no trace is attached.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key/value annotation (no-op when not tracing).
+  void AddArg(const std::string& key, std::string value);
+
+  /// True when a trace is active (annotation work can be skipped).
+  bool active() const { return trace_ != nullptr; }
+
+  /// Ends the span now (idempotent; the destructor calls it).
+  void End();
+
+ private:
+  QueryTrace* trace_;  ///< nullptr = disabled
+  TraceEvent event_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (shared by
+/// the trace exporter and tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_TRACE_H_

@@ -1,8 +1,13 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
+#include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "expr/eval.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
@@ -10,10 +15,188 @@
 
 namespace rfv {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t ElapsedNs(SteadyClock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - since)
+      .count();
+}
+
+/// Wraps multi-line explain text into a one-column result, one row per
+/// line (readable in the shell's table rendering).
+ResultSet TextToResultSet(const std::string& text) {
+  Schema schema;
+  schema.AddColumn(ColumnDef("plan", DataType::kString));
+  std::vector<Row> rows;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    const std::string line =
+        text.substr(start, end == std::string::npos ? std::string::npos
+                                                    : end - start);
+    if (!line.empty()) rows.push_back(Row({Value::String(line)}));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return ResultSet(std::move(schema), std::move(rows));
+}
+
+bool IsConstExpr(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef) return false;
+  for (const auto& child : e.children) {
+    if (!IsConstExpr(*child)) return false;
+  }
+  return true;
+}
+
+/// How UPDATE/DELETE locate their target rows: an ordered-index probe
+/// when a sargable conjunct (col = const, col <op> const, col BETWEEN
+/// const AND const) covers an indexed column, else a sequential scan.
+/// Index candidates are a superset for range probes; the caller must
+/// re-check the full predicate on each candidate row.
+struct DmlScanChoice {
+  bool used_index = false;
+  std::string description = "seq scan";
+  std::vector<size_t> candidates;  ///< sorted row ids; only when used_index
+};
+
+Result<DmlScanChoice> ChooseDmlScan(Table* table, const Expr* where) {
+  DmlScanChoice choice;
+  if (where == nullptr) return choice;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(where->Clone(), &conjuncts);
+  const Row empty_row;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kBinary) {
+      BinaryOp op = c->binary_op;
+      if (op != BinaryOp::kEq && op != BinaryOp::kLt && op != BinaryOp::kLe &&
+          op != BinaryOp::kGt && op != BinaryOp::kGe) {
+        continue;
+      }
+      const Expr* col = nullptr;
+      const Expr* constant = nullptr;
+      if (c->children[0]->kind == ExprKind::kColumnRef &&
+          IsConstExpr(*c->children[1])) {
+        col = c->children[0].get();
+        constant = c->children[1].get();
+      } else if (c->children[1]->kind == ExprKind::kColumnRef &&
+                 IsConstExpr(*c->children[0])) {
+        col = c->children[1].get();
+        constant = c->children[0].get();
+        // Mirror the comparison so `op` reads as <col> op <const>.
+        switch (op) {
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      } else {
+        continue;
+      }
+      OrderedIndex* index = table->GetIndexOnColumn(col->column_index);
+      if (index == nullptr) continue;
+      Value key;
+      RFV_ASSIGN_OR_RETURN(key, Evaluator::Eval(*constant, empty_row));
+      if (op == BinaryOp::kEq) {
+        choice.candidates = index->Lookup(key);
+      } else if (op == BinaryOp::kLt || op == BinaryOp::kLe) {
+        // Inclusive range; strict bounds over-approximate and rely on
+        // the predicate re-check.
+        choice.candidates =
+            index->LookupRange(Value::Null(), false, key, true);
+      } else {
+        choice.candidates =
+            index->LookupRange(key, true, Value::Null(), false);
+      }
+      choice.used_index = true;
+      choice.description =
+          "index probe " + index->name() + " on " + c->ToString();
+      std::sort(choice.candidates.begin(), choice.candidates.end());
+      return choice;
+    }
+    if (c->kind == ExprKind::kBetween &&
+        c->children[0]->kind == ExprKind::kColumnRef &&
+        IsConstExpr(*c->children[1]) && IsConstExpr(*c->children[2])) {
+      OrderedIndex* index =
+          table->GetIndexOnColumn(c->children[0]->column_index);
+      if (index == nullptr) continue;
+      Value lo;
+      RFV_ASSIGN_OR_RETURN(lo, Evaluator::Eval(*c->children[1], empty_row));
+      Value hi;
+      RFV_ASSIGN_OR_RETURN(hi, Evaluator::Eval(*c->children[2], empty_row));
+      choice.used_index = true;
+      choice.candidates = index->LookupRange(lo, true, hi, true);
+      choice.description =
+          "index probe " + index->name() + " on " + c->ToString();
+      std::sort(choice.candidates.begin(), choice.candidates.end());
+      return choice;
+    }
+  }
+  return choice;
+}
+
+}  // namespace
+
+std::string Database::MetricsText() {
+  return MetricsRegistry::Global().ToPrometheusText();
+}
+
 Result<ResultSet> Database::Execute(const std::string& sql) {
-  Statement stmt;
-  RFV_ASSIGN_OR_RETURN(stmt, Parser::ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  static Counter* queries = MetricsRegistry::Global().GetCounter(
+      "rfv_queries_executed_total", {},
+      "SQL statements submitted through Database::Execute");
+  static Counter* failures = MetricsRegistry::Global().GetCounter(
+      "rfv_queries_failed_total", {},
+      "SQL statements that returned a non-OK status");
+  static Histogram* latency = MetricsRegistry::Global().GetHistogram(
+      "rfv_query_duration_seconds", {},
+      "End-to-end Database::Execute latency");
+
+  const SteadyClock::time_point started = SteadyClock::now();
+  std::shared_ptr<QueryTrace> trace;
+  std::optional<ScopedTraceAttach> attach;
+  if (options_.enable_tracing) {
+    trace = Tracer::Global().StartQuery();
+    attach.emplace(trace.get());
+  }
+
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    TraceSpan query_span("query");
+    if (query_span.active()) query_span.AddArg("sql", sql);
+    Statement stmt;
+    int64_t parse_ns = 0;
+    {
+      TraceSpan parse_span("parse");
+      const SteadyClock::time_point parse_start = SteadyClock::now();
+      RFV_ASSIGN_OR_RETURN(stmt, Parser::ParseStatement(sql));
+      parse_ns = ElapsedNs(parse_start);
+    }
+    Result<ResultSet> r = ExecuteStatement(stmt);
+    if (r.ok()) {
+      std::vector<std::pair<std::string, int64_t>> phases;
+      phases.emplace_back("parse", parse_ns);
+      for (const auto& phase : r->phase_ns()) phases.push_back(phase);
+      r->SetPhaseNs(std::move(phases));
+    }
+    return r;
+  }();
+
+  queries->Increment();
+  if (!result.ok()) {
+    failures->Increment();
+    RFV_LOG(kDebug) << "query failed: " << result.status().ToString();
+  }
+  latency->Observe(static_cast<double>(ElapsedNs(started)) / 1e9);
+  if (trace != nullptr) {
+    attach.reset();  // detach before the trace becomes shared/const
+    if (result.ok()) result->SetTrace(trace);
+    Tracer::Global().Retire(std::move(trace));
+  }
+  return result;
 }
 
 Status Database::ExecuteScript(const std::string& sql) {
@@ -57,48 +240,144 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
       return ExecuteCreateView(*stmt.create_view);
     case Statement::Kind::kDropTable:
       return ExecuteDropTable(*stmt.drop_table);
-    case Statement::Kind::kExplain: {
-      // Render the optimized plan — and the rewrite decision, if the
-      // view rewriter would answer the query from a materialized view.
-      std::string text;
-      if (options_.enable_view_rewrite) {
-        RewriteOptions rewrite_options;
-        rewrite_options.variant = options_.rewrite_variant;
-        rewrite_options.force_method = options_.force_method;
-        std::optional<RewriteResult> rewrite;
-        RFV_ASSIGN_OR_RETURN(rewrite,
-                             rewriter_.TryRewrite(*stmt.select,
-                                                  rewrite_options));
-        if (rewrite.has_value()) {
-          text += "Rewrite: " +
-                  std::string(DerivationMethodName(rewrite->choice.method)) +
-                  " using view " + rewrite->choice.view->view_name + "\n" +
-                  rewrite->sql + "\n";
-        }
-      }
-      Binder binder(&catalog_);
-      LogicalPlanPtr plan;
-      RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
-      plan = OptimizePlan(std::move(plan));
-      text += plan->ToString();
-      Schema schema;
-      schema.AddColumn(ColumnDef("plan", DataType::kString));
-      std::vector<Row> rows;
-      // One row per line for readable shell output.
-      size_t start = 0;
-      while (start <= text.size()) {
-        const size_t end = text.find('\n', start);
-        const std::string line =
-            text.substr(start, end == std::string::npos ? std::string::npos
-                                                        : end - start);
-        if (!line.empty()) rows.push_back(Row({Value::String(line)}));
-        if (end == std::string::npos) break;
-        start = end + 1;
-      }
-      return ResultSet(std::move(schema), std::move(rows));
-    }
+    case Statement::Kind::kExplain:
+      return ExecuteExplain(stmt);
   }
   return Status::Internal("unreachable statement kind");
+}
+
+Result<ResultSet> Database::ExecuteExplain(const Statement& stmt) {
+  if (stmt.explained_kind != Statement::Kind::kSelect) {
+    std::string text;
+    RFV_ASSIGN_OR_RETURN(text, ExplainDml(stmt));
+    return TextToResultSet(text);
+  }
+  if (stmt.explain_analyze) {
+    // EXPLAIN ANALYZE SELECT: execute for real, then render phase
+    // timings, the rewrite decision, and the measured operator tree.
+    TraceSpan span("explain.analyze");
+    ResultSet executed;
+    RFV_ASSIGN_OR_RETURN(
+        executed, ExecuteSelect(*stmt.select, /*allow_rewrite=*/true));
+    std::string text = "EXPLAIN ANALYZE (" +
+                       std::to_string(executed.NumRows()) + " rows)\n";
+    const std::string phases = executed.PhasesToString();
+    if (!phases.empty()) text += phases + "\n";
+    if (!executed.rewrite_method().empty()) {
+      text += "rewrite: " + executed.rewrite_method() + " using view " +
+              executed.rewrite_view() + "\n";
+    } else {
+      text += "rewrite: none\n";
+    }
+    text += executed.MetricsTreeToString();
+    ResultSet rs = TextToResultSet(text);
+    rs.SetMetrics(executed.metrics());
+    rs.SetPhaseNs(executed.phase_ns());
+    rs.SetRewriteInfo(executed.rewrite_method(), executed.rewrite_view(),
+                      executed.rewritten_sql());
+    return rs;
+  }
+  // Plain EXPLAIN SELECT: the optimized logical plan — preceded by the
+  // rewrite decision, if the view rewriter would answer the query from
+  // a materialized view.
+  std::string text;
+  if (options_.enable_view_rewrite) {
+    RewriteOptions rewrite_options;
+    rewrite_options.variant = options_.rewrite_variant;
+    rewrite_options.force_method = options_.force_method;
+    std::optional<RewriteResult> rewrite;
+    RFV_ASSIGN_OR_RETURN(rewrite,
+                         rewriter_.TryRewrite(*stmt.select, rewrite_options));
+    if (rewrite.has_value()) {
+      text += "Rewrite: " +
+              std::string(DerivationMethodName(rewrite->choice.method)) +
+              " using view " + rewrite->choice.view->view_name + "\n" +
+              rewrite->sql + "\n";
+    }
+  }
+  Binder binder(&catalog_);
+  LogicalPlanPtr plan;
+  RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
+  plan = OptimizePlan(std::move(plan));
+  text += plan->ToString();
+  return TextToResultSet(text);
+}
+
+Result<std::string> Database::ExplainDml(const Statement& stmt) {
+  std::string text;
+  switch (stmt.explained_kind) {
+    case Statement::Kind::kInsert: {
+      const InsertStmt& ins = *stmt.insert;
+      Result<Table*> table = catalog_.GetTable(ins.table_name);
+      if (!table.ok()) return table.status();
+      text = "insert into " + ToLower(ins.table_name) + "\n  rows: " +
+             std::to_string(ins.rows.size()) + "\n  columns: ";
+      if (ins.columns.empty()) {
+        text += "(positional)";
+      } else {
+        for (size_t i = 0; i < ins.columns.size(); ++i) {
+          text += (i == 0 ? "" : ", ") + ToLower(ins.columns[i]);
+        }
+      }
+      text += "\n";
+      break;
+    }
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete: {
+      const bool is_update = stmt.explained_kind == Statement::Kind::kUpdate;
+      const std::string& table_name =
+          is_update ? stmt.update->table_name : stmt.del->table_name;
+      const AstExpr* where_ast =
+          is_update ? stmt.update->where.get() : stmt.del->where.get();
+      Result<Table*> table_result = catalog_.GetTable(table_name);
+      if (!table_result.ok()) return table_result.status();
+      Table* table = *table_result;
+      const Schema schema =
+          table->schema().WithQualifier(ToLower(table_name));
+      Binder binder(&catalog_);
+      ExprPtr where;
+      if (where_ast != nullptr) {
+        RFV_ASSIGN_OR_RETURN(where, binder.BindScalar(*where_ast, schema));
+      }
+      text = (is_update ? "update " : "delete from ") + ToLower(table_name) +
+             "\n";
+      text += "  predicate: " +
+              (where == nullptr ? std::string("none") : where->ToString()) +
+              "\n";
+      DmlScanChoice scan;
+      RFV_ASSIGN_OR_RETURN(scan, ChooseDmlScan(table, where.get()));
+      text += "  scan: " + scan.description + "\n";
+      if (is_update) {
+        text += "  assignments:";
+        for (const auto& [name, expr] : stmt.update->assignments) {
+          text += " " + ToLower(name) + "=" + expr->ToString();
+        }
+        text += "\n";
+      }
+      break;
+    }
+    default:
+      return Status::NotSupported(
+          "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements");
+  }
+  if (stmt.explain_analyze) {
+    // ANALYZE on DML: execute for real and report the affected count.
+    ResultSet executed;
+    switch (stmt.explained_kind) {
+      case Statement::Kind::kInsert:
+        RFV_ASSIGN_OR_RETURN(executed, ExecuteInsert(*stmt.insert));
+        break;
+      case Statement::Kind::kUpdate:
+        RFV_ASSIGN_OR_RETURN(executed, ExecuteUpdate(*stmt.update));
+        break;
+      default:
+        RFV_ASSIGN_OR_RETURN(executed, ExecuteDelete(*stmt.del));
+        break;
+    }
+    text += "  actual: " + std::to_string(executed.affected()) +
+            " rows affected\n";
+  }
+  return text;
 }
 
 Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
@@ -107,9 +386,11 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     RewriteOptions rewrite_options;
     rewrite_options.variant = options_.rewrite_variant;
     rewrite_options.force_method = options_.force_method;
+    const SteadyClock::time_point rewrite_start = SteadyClock::now();
     std::optional<RewriteResult> rewrite;
     RFV_ASSIGN_OR_RETURN(rewrite,
                          rewriter_.TryRewrite(stmt, rewrite_options));
+    const int64_t rewrite_ns = ElapsedNs(rewrite_start);
     if (rewrite.has_value()) {
       Statement rewritten;
       RFV_ASSIGN_OR_RETURN(rewritten, Parser::ParseStatement(rewrite->sql));
@@ -120,23 +401,51 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
       RFV_ASSIGN_OR_RETURN(
           rs, ExecuteSelect(*rewritten.select, /*allow_rewrite=*/false));
       rs.SetRewriteInfo(DerivationMethodName(rewrite->choice.method),
-                        rewrite->sql);
+                        rewrite->choice.view->view_name, rewrite->sql);
+      // The rewrite decision happened before the inner phases.
+      std::vector<std::pair<std::string, int64_t>> phases;
+      phases.emplace_back("rewrite", rewrite_ns);
+      for (const auto& phase : rs.phase_ns()) phases.push_back(phase);
+      rs.SetPhaseNs(std::move(phases));
       return rs;
     }
+    // Fall through to the base-data path, keeping the miss's cost
+    // visible in the phase report.
+    Result<ResultSet> rs = ExecuteSelect(stmt, /*allow_rewrite=*/false);
+    if (rs.ok()) {
+      std::vector<std::pair<std::string, int64_t>> phases;
+      phases.emplace_back("rewrite", rewrite_ns);
+      for (const auto& phase : rs->phase_ns()) phases.push_back(phase);
+      rs->SetPhaseNs(std::move(phases));
+    }
+    return rs;
   }
   Binder binder(&catalog_);
   LogicalPlanPtr plan;
-  RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(stmt));
-  plan = OptimizePlan(std::move(plan));
-  // Build and run the physical plan here (rather than through
-  // ExecutePlan) so the operator tree survives long enough to harvest
-  // its per-operator metrics into the result.
+  const SteadyClock::time_point bind_start = SteadyClock::now();
+  {
+    TraceSpan span("bind");
+    RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(stmt));
+  }
+  const int64_t bind_ns = ElapsedNs(bind_start);
+  const SteadyClock::time_point plan_start = SteadyClock::now();
   PhysicalOperatorPtr root;
-  RFV_ASSIGN_OR_RETURN(root, BuildPhysicalPlan(*plan, options_.exec));
+  {
+    TraceSpan span("plan");
+    plan = OptimizePlan(std::move(plan));
+    // Build and run the physical plan here (rather than through
+    // ExecutePlan) so the operator tree survives long enough to harvest
+    // its per-operator metrics into the result.
+    RFV_ASSIGN_OR_RETURN(root, BuildPhysicalPlan(*plan, options_.exec));
+  }
+  const int64_t plan_ns = ElapsedNs(plan_start);
+  const SteadyClock::time_point exec_start = SteadyClock::now();
   std::vector<Row> rows;
   RFV_ASSIGN_OR_RETURN(rows, ExecuteToVector(root.get()));
+  const int64_t exec_ns = ElapsedNs(exec_start);
   ResultSet rs(plan->schema, std::move(rows));
   rs.SetMetrics(CollectMetrics(*root));
+  rs.SetPhaseNs({{"bind", bind_ns}, {"plan", plan_ns}, {"execute", exec_ns}});
   return rs;
 }
 
@@ -231,9 +540,17 @@ Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
     RFV_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
   }
 
+  // Narrow the scan through an ordered index when a sargable conjunct
+  // allows it; candidates still get the full predicate re-checked.
+  DmlScanChoice scan;
+  RFV_ASSIGN_OR_RETURN(scan, ChooseDmlScan(table, where.get()));
+
   // Two-phase: evaluate first, apply second (self-referencing updates).
   std::vector<std::pair<size_t, Row>> updates;
-  for (size_t r = 0; r < table->NumRows(); ++r) {
+  const size_t total =
+      scan.used_index ? scan.candidates.size() : table->NumRows();
+  for (size_t i = 0; i < total; ++i) {
+    const size_t r = scan.used_index ? scan.candidates[i] : i;
     const Row& row = table->row(r);
     if (where != nullptr) {
       bool keep = false;
@@ -266,8 +583,13 @@ Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
   if (stmt.where != nullptr) {
     RFV_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
   }
+  DmlScanChoice scan;
+  RFV_ASSIGN_OR_RETURN(scan, ChooseDmlScan(table, where.get()));
   std::vector<size_t> victims;
-  for (size_t r = 0; r < table->NumRows(); ++r) {
+  const size_t total =
+      scan.used_index ? scan.candidates.size() : table->NumRows();
+  for (size_t i = 0; i < total; ++i) {
+    const size_t r = scan.used_index ? scan.candidates[i] : i;
     if (where != nullptr) {
       bool hit = false;
       RFV_ASSIGN_OR_RETURN(hit,

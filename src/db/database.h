@@ -40,6 +40,11 @@ class Database {
     RewriteVariant rewrite_variant = RewriteVariant::kDisjunctive;
     /// Force MaxOA or MinOA instead of the automatic choice.
     std::optional<DerivationMethod> force_method;
+    /// Record a query-lifecycle trace for every Execute() call and
+    /// attach it to the ResultSet (exportable as Chrome trace-event
+    /// JSON). Off by default: tracing costs a few clock reads per
+    /// span even though spans are cheap.
+    bool enable_tracing = false;
     /// Physical execution knobs: index/hash join toggles plus the
     /// window parallelism controls (exec.window_workers /
     /// exec.window_parallel_min_rows — see ExecOptions).
@@ -60,6 +65,10 @@ class Database {
   /// Renders the optimized logical plan of a SELECT.
   Result<std::string> Explain(const std::string& sql);
 
+  /// Process-wide metrics (queries, rewrites, index probes, view
+  /// maintenance...) in Prometheus text exposition format.
+  static std::string MetricsText();
+
   Catalog* catalog() { return &catalog_; }
   ViewManager* view_manager() { return &views_; }
   const Rewriter& rewriter() const { return rewriter_; }
@@ -68,6 +77,8 @@ class Database {
  private:
   Result<ResultSet> ExecuteStatement(const Statement& stmt);
   Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, bool allow_rewrite);
+  Result<ResultSet> ExecuteExplain(const Statement& stmt);
+  Result<std::string> ExplainDml(const Statement& stmt);
   Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);

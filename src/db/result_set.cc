@@ -1,11 +1,24 @@
 #include "db/result_set.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/str_util.h"
 
 namespace rfv {
+
+std::string ResultSet::PhasesToString() const {
+  if (phase_ns_.empty()) return "";
+  std::string out = "phases:";
+  for (const auto& [phase, ns] : phase_ns_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%.3fms", phase.c_str(),
+                  static_cast<double>(ns) / 1e6);
+    out += buf;
+  }
+  return out;
+}
 
 int ResultSet::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < schema_.NumColumns(); ++i) {

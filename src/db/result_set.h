@@ -1,11 +1,14 @@
 #ifndef RFVIEW_DB_RESULT_SET_H_
 #define RFVIEW_DB_RESULT_SET_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/row.h"
 #include "common/schema.h"
+#include "common/trace.h"
 #include "exec/executor.h"
 
 namespace rfv {
@@ -40,9 +43,11 @@ class ResultSet {
 
   /// Rewrite provenance (empty when the query ran against base data).
   const std::string& rewrite_method() const { return rewrite_method_; }
+  const std::string& rewrite_view() const { return rewrite_view_; }
   const std::string& rewritten_sql() const { return rewritten_sql_; }
-  void SetRewriteInfo(std::string method, std::string sql) {
+  void SetRewriteInfo(std::string method, std::string view, std::string sql) {
     rewrite_method_ = std::move(method);
+    rewrite_view_ = std::move(view);
     rewritten_sql_ = std::move(sql);
   }
 
@@ -60,6 +65,39 @@ class ResultSet {
   /// string when no metrics were recorded).
   std::string MetricsToString() const { return FormatMetricsReport(metrics_); }
 
+  /// Per-instance plan tree with metrics annotations (EXPLAIN ANALYZE
+  /// view; repeated operators such as both scans of a self-join keep
+  /// their own rows).
+  std::string MetricsTreeToString() const {
+    return FormatMetricsTree(metrics_);
+  }
+
+  /// Wall time of each query phase (parse, bind, plan, rewrite,
+  /// execute), in execution order. Empty when the statement bypassed a
+  /// phase (DML has no plan/rewrite) or predates instrumentation.
+  const std::vector<std::pair<std::string, int64_t>>& phase_ns() const {
+    return phase_ns_;
+  }
+  void SetPhaseNs(std::vector<std::pair<std::string, int64_t>> phases) {
+    phase_ns_ = std::move(phases);
+  }
+  void AddPhaseNs(std::string phase, int64_t ns) {
+    phase_ns_.emplace_back(std::move(phase), ns);
+  }
+  /// One-line `phases: parse=0.1ms bind=...` summary (empty when none).
+  std::string PhasesToString() const;
+
+  /// The query-lifecycle trace recorded while producing this result
+  /// (null unless Database::Options::enable_tracing was set).
+  const std::shared_ptr<const QueryTrace>& trace() const { return trace_; }
+  void SetTrace(std::shared_ptr<const QueryTrace> trace) {
+    trace_ = std::move(trace);
+  }
+  /// Chrome trace-event JSON of trace() ("" when not traced).
+  std::string TraceJson() const {
+    return trace_ == nullptr ? "" : trace_->ToChromeJson();
+  }
+
   /// ASCII table rendering (examples / debugging).
   std::string ToString(size_t max_rows = 20) const;
 
@@ -69,8 +107,11 @@ class ResultSet {
   bool is_query_ = false;
   int64_t affected_ = -1;
   std::string rewrite_method_;
+  std::string rewrite_view_;
   std::string rewritten_sql_;
   std::vector<OperatorMetricsEntry> metrics_;
+  std::vector<std::pair<std::string, int64_t>> phase_ns_;
+  std::shared_ptr<const QueryTrace> trace_;
 };
 
 }  // namespace rfv

@@ -1,9 +1,11 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "exec/operators.h"
 #include "plan/planner.h"
 
@@ -256,30 +258,121 @@ std::vector<OperatorMetricsEntry> CollectMetrics(
   return out;
 }
 
+namespace {
+
+/// One formatted metrics line: `label` padded, then the counters.
+std::string FormatMetricsLine(const std::string& label,
+                              const OperatorMetricsEntry& e) {
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "%-24s rows_in=%-9lld rows_out=%-9lld next_calls=%-9lld "
+      "open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
+      label.c_str(), static_cast<long long>(e.rows_in),
+      static_cast<long long>(e.metrics.rows_out),
+      static_cast<long long>(e.metrics.next_calls),
+      static_cast<double>(e.metrics.open_ns) / 1e6,
+      static_cast<double>(e.metrics.next_ns) / 1e6,
+      static_cast<long long>(e.metrics.peak_buffered_rows));
+  return line;
+}
+
+}  // namespace
+
 std::string FormatMetricsReport(
     const std::vector<OperatorMetricsEntry>& entries) {
   std::string out;
   for (const OperatorMetricsEntry& e : entries) {
-    char line[256];
-    const std::string padded =
-        std::string(static_cast<size_t>(e.depth) * 2, ' ') + e.name;
-    std::snprintf(
-        line, sizeof(line),
-        "%-24s rows_in=%-9lld rows_out=%-9lld next_calls=%-9lld "
-        "open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
-        padded.c_str(), static_cast<long long>(e.rows_in),
-        static_cast<long long>(e.metrics.rows_out),
-        static_cast<long long>(e.metrics.next_calls),
-        static_cast<double>(e.metrics.open_ns) / 1e6,
-        static_cast<double>(e.metrics.next_ns) / 1e6,
-        static_cast<long long>(e.metrics.peak_buffered_rows));
-    out += line;
+    out += FormatMetricsLine(
+        std::string(static_cast<size_t>(e.depth) * 2, ' ') + e.name, e);
+  }
+  return out;
+}
+
+std::string FormatMetricsRollup(
+    const std::vector<OperatorMetricsEntry>& entries) {
+  // Aggregate by operator name, preserving first-appearance order.
+  std::vector<std::string> order;
+  std::vector<OperatorMetricsEntry> totals;
+  std::vector<int> instances;
+  for (const OperatorMetricsEntry& e : entries) {
+    size_t slot = order.size();
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == e.name) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == order.size()) {
+      order.push_back(e.name);
+      OperatorMetricsEntry total;
+      total.name = e.name;
+      totals.push_back(std::move(total));
+      instances.push_back(0);
+    }
+    OperatorMetricsEntry& total = totals[slot];
+    total.rows_in += e.rows_in;
+    total.metrics.rows_out += e.metrics.rows_out;
+    total.metrics.next_calls += e.metrics.next_calls;
+    total.metrics.open_ns += e.metrics.open_ns;
+    total.metrics.next_ns += e.metrics.next_ns;
+    total.metrics.peak_buffered_rows =
+        std::max(total.metrics.peak_buffered_rows,
+                 e.metrics.peak_buffered_rows);
+    ++instances[slot];
+  }
+  std::string out;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    std::string label = totals[i].name;
+    if (instances[i] > 1) label += " x" + std::to_string(instances[i]);
+    out += FormatMetricsLine(label, totals[i]);
+  }
+  return out;
+}
+
+std::string FormatMetricsTree(
+    const std::vector<OperatorMetricsEntry>& entries) {
+  std::string out;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const int depth = entries[i].depth;
+    std::string prefix;
+    // For each ancestor level, draw a continuation bar when that
+    // ancestor has later siblings; for the node itself, a branch or
+    // corner depending on whether a later sibling exists. "Later
+    // sibling at level d" = a subsequent entry of depth d appearing
+    // before any entry of depth < d (pre-order property).
+    for (int level = 1; level <= depth; ++level) {
+      bool has_later_sibling = false;
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        if (entries[j].depth < level) break;
+        if (entries[j].depth == level) {
+          has_later_sibling = true;
+          break;
+        }
+      }
+      if (level == depth) {
+        prefix += has_later_sibling ? "├─ " : "└─ ";
+      } else {
+        prefix += has_later_sibling ? "│  " : "   ";
+      }
+    }
+    // The box-drawing characters are multi-byte; pad by display width.
+    const size_t display_width =
+        static_cast<size_t>(depth) * 3 + entries[i].name.size();
+    std::string label = prefix + entries[i].name;
+    if (display_width < 24) label += std::string(24 - display_width, ' ');
+    out += FormatMetricsLine(label, entries[i]);
   }
   return out;
 }
 
 Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
-  RFV_RETURN_IF_ERROR(op->Open());
+  {
+    TraceSpan open_span("exec.open");
+    if (open_span.active()) open_span.AddArg("root", op->name());
+    RFV_RETURN_IF_ERROR(op->Open());
+  }
+  TraceSpan drain_span("exec.drain");
   std::vector<Row> rows;
   while (true) {
     Row row;
@@ -287,6 +380,9 @@ Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
     RFV_RETURN_IF_ERROR(op->Next(&row, &eof));
     if (eof) break;
     rows.push_back(std::move(row));
+  }
+  if (drain_span.active()) {
+    drain_span.AddArg("rows", std::to_string(rows.size()));
   }
   return rows;
 }

@@ -124,6 +124,22 @@ std::vector<OperatorMetricsEntry> CollectMetrics(
 std::string FormatMetricsReport(
     const std::vector<OperatorMetricsEntry>& entries);
 
+/// By-name rollup of a metrics report: one line per operator *name* with
+/// summed counters and an instance count. Merges the two scans of a
+/// self-join into one row — useful as a summary, misleading as a plan
+/// view; pair it with FormatMetricsTree for per-instance attribution.
+std::string FormatMetricsRollup(
+    const std::vector<OperatorMetricsEntry>& entries);
+
+/// Per-instance plan *tree* rendering (box-drawing connectors), each
+/// node annotated with its own metrics — the EXPLAIN ANALYZE view:
+///   window             rows_in=100000 rows_out=100000 ...
+///   └─ scan            rows_in=0      rows_out=100000 ...
+/// Unlike the rollup, repeated operators (both scans of a self-join)
+/// keep their own rows.
+std::string FormatMetricsTree(
+    const std::vector<OperatorMetricsEntry>& entries);
+
 /// Knobs for physical plan selection. The defaults give the engine its
 /// best plans; benchmarks flip them to reproduce the paper's comparison
 /// axes (e.g. Table 1 "self join without index" by disabling index

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
 #include "exec/window_frame.h"
 #include "expr/eval.h"
@@ -136,6 +137,11 @@ Status WindowOp::ComputeCall(const WindowCall& call,
   // split across tasks and every task writes disjoint slots of *out*,
   // so the result is byte-identical to the serial path and the only
   // synchronization needed is the final join.
+  static Counter* parallel_partitions = MetricsRegistry::Global().GetCounter(
+      "rfv_window_parallel_partitions_total", {},
+      "Window partitions processed on worker threads (parallel path)");
+  parallel_partitions->Increment(static_cast<int64_t>(partitions.size()));
+
   std::vector<Status> statuses(workers);
   {
     TaskGroup group(ThreadPool::Shared());

@@ -225,9 +225,16 @@ struct Statement {
     kDelete,
     kCreateView,
     kDropTable,
-    kExplain,  ///< EXPLAIN SELECT ... — `select` holds the query
+    kExplain,  ///< EXPLAIN [ANALYZE] <stmt> — `explained_kind` tags which
+               ///< of the owned alternatives holds the target statement
   };
   Kind kind = Kind::kSelect;
+  /// For kExplain: the kind of the explained statement (kSelect,
+  /// kInsert, kUpdate or kDelete), whose fields are filled as usual.
+  Kind explained_kind = Kind::kSelect;
+  /// For kExplain: EXPLAIN ANALYZE — execute the statement and annotate
+  /// the rendered plan with measured per-operator metrics.
+  bool explain_analyze = false;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;

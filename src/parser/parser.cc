@@ -166,12 +166,17 @@ Result<Statement> Parser::ParseSingleStatement() {
   if (CheckKeyword("delete")) return ParseDelete();
   if (CheckKeyword("drop")) return ParseDrop();
   if (AcceptKeyword("explain")) {
-    if (!CheckKeyword("select")) {
-      return ErrorHere("EXPLAIN supports SELECT statements only");
+    const bool analyze = AcceptKeyword("analyze");
+    if (!CheckKeyword("select") && !CheckKeyword("insert") &&
+        !CheckKeyword("update") && !CheckKeyword("delete")) {
+      return ErrorHere(
+          "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements");
     }
     Statement stmt;
+    RFV_ASSIGN_OR_RETURN(stmt, ParseSingleStatement());
+    stmt.explained_kind = stmt.kind;
     stmt.kind = Statement::Kind::kExplain;
-    RFV_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    stmt.explain_analyze = analyze;
     return stmt;
   }
   return ErrorHere("expected a statement");

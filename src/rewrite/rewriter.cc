@@ -1,11 +1,22 @@
 #include "rewrite/rewriter.h"
 
+#include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "rewrite/pattern_sql.h"
 
 namespace rfv {
 
 namespace {
+
+/// Counts a successful rewrite, labeled by derivation method.
+void CountRewriteHit(DerivationMethod method) {
+  Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_rewrite_hits_total", {{"method", DerivationMethodName(method)}},
+      "Window queries answered from a materialized sequence view");
+  c->Increment();
+}
 
 /// Frame → WindowSpec; nullopt for frames outside the paper's sequence
 /// model (e.g. 3 PRECEDING AND 1 PRECEDING).
@@ -191,10 +202,18 @@ std::optional<SeqQuery> Rewriter::RecognizeSimpleWindowQuery(
 
 Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
     const SelectStmt& stmt, const RewriteOptions& options) const {
+  TraceSpan span("rewrite");
   bool wants_order = false;
   const std::optional<SeqQuery> query =
       RecognizeSimpleWindowQuery(stmt, &wants_order);
-  if (!query.has_value()) return std::optional<RewriteResult>();
+  if (!query.has_value()) {
+    if (span.active()) span.AddArg("verdict", "not a simple window query");
+    return std::optional<RewriteResult>();
+  }
+  static Counter* attempts = MetricsRegistry::Global().GetCounter(
+      "rfv_rewrite_attempts_total", {},
+      "Recognized window queries the rewriter tried to answer from a view");
+  attempts->Increment();
 
   // COUNT windows are answered from positions alone (paper §2.1). The
   // rewrite fires only when some registered (non-derived) sequence view
@@ -224,6 +243,13 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
     if (wants_order) result.sql += " ORDER BY 1";
     result.choice.view = witness;
     result.choice.method = DerivationMethod::kCountTrivial;
+    CountRewriteHit(result.choice.method);
+    if (span.active()) {
+      span.AddArg("view", witness->view_name);
+      span.AddArg("method", "count-trivial");
+    }
+    RFV_LOG(kInfo) << "rewrite: count-trivial using view "
+                   << witness->view_name;
     return std::optional<RewriteResult>(std::move(result));
   }
 
@@ -232,7 +258,25 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
       views_->FindCandidates(query->base_table, query->value_column,
                              query->order_column, lookup_fn,
                              query->partition_columns);
-  if (candidates.empty()) return std::optional<RewriteResult>();
+  if (candidates.empty()) {
+    if (span.active()) span.AddArg("verdict", "no candidate views");
+    return std::optional<RewriteResult>();
+  }
+  if (span.active()) {
+    // One child span per candidate view with its derivability verdict;
+    // this re-runs the (cheap, in-memory) derivability math purely for
+    // the trace, so it is gated on tracing being active.
+    for (const SequenceViewDef* view : candidates) {
+      TraceSpan candidate_span("rewrite.candidate");
+      candidate_span.AddArg("view", view->view_name);
+      Result<DerivationChoice> verdict = CheckDerivability(*view, *query);
+      candidate_span.AddArg(
+          "verdict", verdict.ok()
+                         ? std::string("derivable via ") +
+                               DerivationMethodName(verdict->method)
+                         : "not derivable: " + verdict.status().message());
+    }
+  }
 
   DerivationChoice choice;
   if (options.force_method.has_value()) {
@@ -271,10 +315,16 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
         }
       }
     }
-    if (!found) return std::optional<RewriteResult>();
+    if (!found) {
+      if (span.active()) span.AddArg("verdict", "forced method not derivable");
+      return std::optional<RewriteResult>();
+    }
   } else {
     Result<DerivationChoice> r = ChooseDerivation(candidates, *query);
-    if (!r.ok()) return std::optional<RewriteResult>();
+    if (!r.ok()) {
+      if (span.active()) span.AddArg("verdict", "no derivable candidate");
+      return std::optional<RewriteResult>();
+    }
     choice = std::move(*r);
   }
 
@@ -331,6 +381,13 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
   RewriteResult result;
   result.sql = std::move(sql);
   result.choice = choice;
+  CountRewriteHit(choice.method);
+  if (span.active()) {
+    span.AddArg("view", view.view_name);
+    span.AddArg("method", DerivationMethodName(choice.method));
+  }
+  RFV_LOG(kInfo) << "rewrite: " << DerivationMethodName(choice.method)
+                 << " using view " << view.view_name;
   return std::optional<RewriteResult>(std::move(result));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "storage/table.h"
 
 namespace rfv {
@@ -10,6 +11,15 @@ namespace rfv {
 namespace {
 
 bool EntryLess(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+// Probes happen per outer row in index nested-loop joins; cache the
+// counter pointer so the hot path is one relaxed atomic add.
+void CountProbe() {
+  static Counter* probes = MetricsRegistry::Global().GetCounter(
+      "rfv_index_probes_total", {},
+      "Point and range lookups against ordered indexes");
+  probes->Increment();
+}
 
 }  // namespace
 
@@ -43,6 +53,7 @@ void OrderedIndex::EnsureSorted() {
 std::vector<size_t> OrderedIndex::Lookup(const Value& key) const {
   RFV_CHECK(!dirty_);
   RFV_CHECK(sorted_);
+  CountProbe();
   std::vector<size_t> out;
   auto [lo, hi] = std::equal_range(
       entries_.begin(), entries_.end(), Entry{key, 0},
@@ -56,6 +67,7 @@ std::vector<size_t> OrderedIndex::LookupRange(const Value& lo, bool has_lo,
                                               bool has_hi) const {
   RFV_CHECK(!dirty_);
   RFV_CHECK(sorted_);
+  CountProbe();
   auto begin = entries_.begin();
   auto end = entries_.end();
   const auto cmp = [](const Entry& a, const Entry& b) {

@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/metrics_registry.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace rfv {
 
 namespace {
+
+/// Counts view-table rows written while propagating one base change.
+void CountMaintenanceRows(const char* op, size_t rows) {
+  Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_view_maintenance_rows_total", {{"op", op}},
+      "Materialized-view rows written by incremental maintenance");
+  c->Increment(static_cast<int64_t>(rows));
+}
 
 struct BaseBinding {
   Table* base = nullptr;
@@ -138,6 +148,8 @@ Result<size_t> AddDeltaRange(Table* content, int64_t lo, int64_t hi,
 Result<size_t> PropagateBaseUpdate(ViewManager* views,
                                    const std::string& base_table,
                                    int64_t position, double new_value) {
+  TraceSpan span("view.maintain.update");
+  if (span.active()) span.AddArg("base", base_table);
   const std::vector<const SequenceViewDef*> dependents =
       DependentViews(*views, base_table);
   size_t touched = 0;
@@ -213,12 +225,16 @@ Result<size_t> PropagateBaseUpdate(ViewManager* views,
         "no dependent sequence views for table " + base_table +
         " (update the base table directly via SQL)");
   }
+  CountMaintenanceRows("update", touched);
+  if (span.active()) span.AddArg("rows", std::to_string(touched));
   return touched;
 }
 
 Result<size_t> PropagateBaseInsert(ViewManager* views,
                                    const std::string& base_table,
                                    int64_t position, double value) {
+  TraceSpan span("view.maintain.insert");
+  if (span.active()) span.AddArg("base", base_table);
   const std::vector<const SequenceViewDef*> dependents =
       DependentViews(*views, base_table);
   if (dependents.empty()) {
@@ -252,12 +268,16 @@ Result<size_t> PropagateBaseInsert(ViewManager* views,
     if (!content.ok()) return content.status();
     touched += static_cast<size_t>((*content)->NumRows());
   }
+  CountMaintenanceRows("insert", touched);
+  if (span.active()) span.AddArg("rows", std::to_string(touched));
   return touched;
 }
 
 Result<size_t> PropagateBaseDelete(ViewManager* views,
                                    const std::string& base_table,
                                    int64_t position) {
+  TraceSpan span("view.maintain.delete");
+  if (span.active()) span.AddArg("base", base_table);
   const std::vector<const SequenceViewDef*> dependents =
       DependentViews(*views, base_table);
   if (dependents.empty()) {
@@ -282,6 +302,8 @@ Result<size_t> PropagateBaseDelete(ViewManager* views,
     if (!content.ok()) return content.status();
     touched += static_cast<size_t>((*content)->NumRows());
   }
+  CountMaintenanceRows("delete", touched);
+  if (span.active()) span.AddArg("rows", std::to_string(touched));
   return touched;
 }
 

@@ -1,0 +1,157 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::IsValidJson;
+
+TEST(TraceSpanTest, NoopWhenNoTraceAttached) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.AddArg("ignored", "value");  // must not crash
+}
+
+TEST(TraceSpanTest, RecordsNestedSpansWithDepth) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  {
+    ScopedTraceAttach attach(trace.get());
+    TraceSpan outer("query");
+    EXPECT_TRUE(outer.active());
+    {
+      TraceSpan inner("parse");
+      inner.AddArg("sql", "SELECT 1");
+    }
+    TraceSpan sibling("bind");
+  }
+  const std::vector<TraceEvent> events = trace->events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record on End, so children land before their parent.
+  EXPECT_EQ(events[0].name, "parse");
+  EXPECT_EQ(events[0].depth, 1);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "sql");
+  EXPECT_EQ(events[0].args[0].second, "SELECT 1");
+  EXPECT_EQ(events[1].name, "bind");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "query");
+  EXPECT_EQ(events[2].depth, 0);
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.start_us, 0);
+    EXPECT_GE(e.dur_us, 0);
+  }
+  // The parent covers its children.
+  EXPECT_LE(events[2].start_us, events[0].start_us);
+  EXPECT_GE(events[2].start_us + events[2].dur_us,
+            events[0].start_us + events[0].dur_us);
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  ScopedTraceAttach attach(trace.get());
+  {
+    TraceSpan span("once");
+    span.End();
+    span.End();  // destructor will call a third time
+  }
+  EXPECT_EQ(trace->events().size(), 1u);
+}
+
+TEST(TraceSpanTest, DetachedThreadDoesNotRecord) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  ScopedTraceAttach attach(trace.get());
+  // The attachment is thread-local: a fresh thread has no trace.
+  std::thread worker([] {
+    EXPECT_EQ(CurrentTrace(), nullptr);
+    TraceSpan span("worker");
+    EXPECT_FALSE(span.active());
+  });
+  worker.join();
+  EXPECT_TRUE(trace->events().empty());
+}
+
+TEST(ScopedTraceAttachTest, RestoresPreviousAttachment) {
+  std::shared_ptr<QueryTrace> outer = Tracer::Global().StartQuery();
+  std::shared_ptr<QueryTrace> inner = Tracer::Global().StartQuery();
+  ScopedTraceAttach attach_outer(outer.get());
+  EXPECT_EQ(CurrentTrace(), outer.get());
+  {
+    ScopedTraceAttach attach_inner(inner.get());
+    EXPECT_EQ(CurrentTrace(), inner.get());
+  }
+  EXPECT_EQ(CurrentTrace(), outer.get());
+}
+
+TEST(TracerTest, RetireFindAndLatest) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  const int64_t id = trace->id();
+  Tracer::Global().Retire(trace);
+  EXPECT_EQ(Tracer::Global().Find(id).get(), trace.get());
+  EXPECT_EQ(Tracer::Global().Latest().get(), trace.get());
+}
+
+TEST(TracerTest, RingEvictsOldTraces) {
+  std::shared_ptr<QueryTrace> oldest = Tracer::Global().StartQuery();
+  const int64_t oldest_id = oldest->id();
+  Tracer::Global().Retire(oldest);
+  for (size_t i = 0; i < Tracer::kMaxRetired; ++i) {
+    Tracer::Global().Retire(Tracer::Global().StartQuery());
+  }
+  EXPECT_EQ(Tracer::Global().Find(oldest_id), nullptr);
+  EXPECT_NE(Tracer::Global().Latest(), nullptr);
+}
+
+TEST(TraceJsonTest, ChromeExportIsValidJson) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  {
+    ScopedTraceAttach attach(trace.get());
+    TraceSpan outer("query");
+    outer.AddArg("sql", "SELECT \"quoted\"\nand a newline\\backslash");
+    TraceSpan inner("exec.drain");
+    inner.AddArg("rows", "42");
+  }
+  const std::string json = trace->ToChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec.drain\""), std::string::npos);
+}
+
+TEST(TraceJsonTest, EmptyTraceExportsEmptyArray) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  const std::string json = trace->ToChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+}
+
+TEST(TraceTextTest, RendersOneLinePerSpan) {
+  std::shared_ptr<QueryTrace> trace = Tracer::Global().StartQuery();
+  {
+    ScopedTraceAttach attach(trace.get());
+    TraceSpan outer("query");
+    TraceSpan inner("parse");
+  }
+  const std::string text = trace->ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("parse"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_TRUE(IsValidJson("\"" + JsonEscape("mix\t\"of\\every\nthing") +
+                          "\""));
+}
+
+}  // namespace
+}  // namespace rfv

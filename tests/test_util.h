@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,121 @@ inline void CreateSeqTable(Database& db, int n,
     insert += "(" + std::to_string(i) + ", " + std::to_string(v) + ")";
   }
   MustExecute(db, insert);
+}
+
+namespace json_detail {
+
+inline void SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' ||
+                           s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+inline bool ParseValue(const std::string& s, size_t* i);
+
+inline bool ParseString(const std::string& s, size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  while (*i < s.size() && s[*i] != '"') {
+    if (s[*i] == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      const char e = s[*i];
+      if (e == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++*i;
+          if (*i >= s.size() || !std::isxdigit(static_cast<unsigned char>(
+                                    s[*i]))) {
+            return false;
+          }
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(s[*i]) < 0x20) {
+      return false;  // raw control characters must be escaped
+    }
+    ++*i;
+  }
+  if (*i >= s.size()) return false;
+  ++*i;  // closing quote
+  return true;
+}
+
+inline bool ParseNumber(const std::string& s, size_t* i) {
+  const size_t start = *i;
+  if (*i < s.size() && s[*i] == '-') ++*i;
+  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+  if (*i == start || (s[start] == '-' && *i == start + 1)) return false;
+  if (*i < s.size() && s[*i] == '.') {
+    ++*i;
+    while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+    }
+  }
+  if (*i < s.size() && (s[*i] == 'e' || s[*i] == 'E')) {
+    ++*i;
+    if (*i < s.size() && (s[*i] == '+' || s[*i] == '-')) ++*i;
+    while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+    }
+  }
+  return true;
+}
+
+inline bool ParseValue(const std::string& s, size_t* i) {
+  SkipWs(s, i);
+  if (*i >= s.size()) return false;
+  const char c = s[*i];
+  if (c == '"') return ParseString(s, i);
+  if (c == '{') {
+    ++*i;
+    SkipWs(s, i);
+    if (*i < s.size() && s[*i] == '}') { ++*i; return true; }
+    while (true) {
+      SkipWs(s, i);
+      if (!ParseString(s, i)) return false;
+      SkipWs(s, i);
+      if (*i >= s.size() || s[*i] != ':') return false;
+      ++*i;
+      if (!ParseValue(s, i)) return false;
+      SkipWs(s, i);
+      if (*i < s.size() && s[*i] == ',') { ++*i; continue; }
+      if (*i < s.size() && s[*i] == '}') { ++*i; return true; }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++*i;
+    SkipWs(s, i);
+    if (*i < s.size() && s[*i] == ']') { ++*i; return true; }
+    while (true) {
+      if (!ParseValue(s, i)) return false;
+      SkipWs(s, i);
+      if (*i < s.size() && s[*i] == ',') { ++*i; continue; }
+      if (*i < s.size() && s[*i] == ']') { ++*i; return true; }
+      return false;
+    }
+  }
+  if (s.compare(*i, 4, "true") == 0) { *i += 4; return true; }
+  if (s.compare(*i, 5, "false") == 0) { *i += 5; return true; }
+  if (s.compare(*i, 4, "null") == 0) { *i += 4; return true; }
+  return ParseNumber(s, i);
+}
+
+}  // namespace json_detail
+
+/// Strict whole-string JSON validity check (small recursive-descent
+/// parser; used to verify the Chrome trace export round-trips).
+inline bool IsValidJson(const std::string& s) {
+  size_t i = 0;
+  if (!json_detail::ParseValue(s, &i)) return false;
+  json_detail::SkipWs(s, &i);
+  return i == s.size();
 }
 
 }  // namespace testutil
