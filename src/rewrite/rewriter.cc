@@ -290,6 +290,14 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
       }
       // A view whose automatic choice differs may still support the
       // forced method (MaxOA-eligible pairs are always MinOA-eligible).
+      // Partitioned pairs never do: the MaxOA/MinOA SQL templates are
+      // single-sequence (no partition column in the select list or the
+      // self-join predicate), so forcing them onto a partitioned view
+      // would silently collapse the partitions.
+      if (!query->partition_columns.empty() ||
+          !view->partition_columns.empty()) {
+        continue;
+      }
       if (*options.force_method == DerivationMethod::kMinoa &&
           view->window.is_sliding() && query->window.is_sliding() &&
           view->fn == SeqAggFn::kSum) {

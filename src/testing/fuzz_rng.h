@@ -1,0 +1,51 @@
+#ifndef RFVIEW_TESTING_FUZZ_RNG_H_
+#define RFVIEW_TESTING_FUZZ_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rfv {
+namespace fuzzing {
+
+/// Deterministic PRNG for the fuzz harness (SplitMix64). The standard
+/// library's distributions are implementation-defined, so everything
+/// here is integer arithmetic only: the same seed produces the same
+/// byte stream on every platform and standard library — the property
+/// the generator-determinism oracle depends on.
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi. Modulo bias
+  /// is irrelevant for fuzzing ranges (all << 2^64).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// True with probability permille/1000.
+  bool ChancePermille(int permille) {
+    return static_cast<int>(Next() % 1000) < permille;
+  }
+
+  /// Uniformly picks one element. Precondition: non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Next() % items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fuzzing
+}  // namespace rfv
+
+#endif  // RFVIEW_TESTING_FUZZ_RNG_H_

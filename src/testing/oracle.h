@@ -1,0 +1,77 @@
+#ifndef RFVIEW_TESTING_ORACLE_H_
+#define RFVIEW_TESTING_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.h"
+
+namespace rfv {
+namespace fuzzing {
+
+/// The oracle runner: replays one scenario against a fresh Database and
+/// cross-checks every execution strategy the engine offers against the
+/// trusted reference evaluator and against each other:
+///
+///   * reference   — native window operator vs. the naive O(n²)
+///                   evaluator (reference_window.h);
+///   * parallel    — exec.window_workers = 1 vs. the partition-parallel
+///                   path (workers forced onto small inputs);
+///   * rewrite:*   — MaxOA / MinOA / automatic view rewrites (both
+///                   pattern variants) vs. the native operator;
+///   * maintenance — incrementally maintained view content vs. a full
+///                   recompute (ViewManager::RefreshView) after every
+///                   DML batch.
+///
+/// All row comparisons run under canonical row ordering
+/// (result_compare.h), so plans without a final sort cannot produce
+/// order-only false positives.
+
+struct OracleOptions {
+  /// Worker count of the parallel run (serial run is always 1). The
+  /// parallel run also lowers exec.window_parallel_min_rows to 1 so the
+  /// parallel path really executes on fuzz-sized inputs.
+  int parallel_workers = 4;
+
+  /// Test hook: simulated engine bugs, used to validate that the
+  /// harness catches and shrinks real mismatches (tests + the
+  /// --inject-off-by-one flag of rfview_fuzz).
+  enum class Corruption {
+    kNone,
+    /// Adds 1 to the window column of the last row of every native
+    /// serial window-query result — the classic frame off-by-one.
+    kOffByOne,
+  };
+  Corruption corruption = Corruption::kNone;
+};
+
+struct OracleFailure {
+  std::string oracle;  ///< "reference", "parallel", "rewrite:…", …
+  std::string detail;  ///< offending query SQL / view name / DML op
+  std::string diff;    ///< first differing rows, row counts, or error
+  int round = 0;       ///< 0 = initial data, k = after DML batch k-1
+};
+
+struct ScenarioVerdict {
+  std::vector<OracleFailure> failures;
+  /// Oracle name → number of comparisons performed. Skipped rewrites
+  /// (method not applicable) are counted under "rewrite-skipped".
+  std::map<std::string, int> checks;
+
+  bool ok() const { return failures.empty(); }
+  int TotalChecks() const;
+
+  /// Byte-stable rendering (no timings) — the determinism tests compare
+  /// these strings across runs.
+  std::string Summary() const;
+};
+
+/// Replays the scenario and runs every applicable oracle.
+ScenarioVerdict RunScenario(const Scenario& scenario,
+                            const OracleOptions& options = {});
+
+}  // namespace fuzzing
+}  // namespace rfv
+
+#endif  // RFVIEW_TESTING_ORACLE_H_

@@ -1,0 +1,43 @@
+#ifndef RFVIEW_TESTING_REFERENCE_WINDOW_H_
+#define RFVIEW_TESTING_REFERENCE_WINDOW_H_
+
+#include <vector>
+
+#include "common/row.h"
+#include "common/value.h"
+#include "testing/scenario.h"
+
+namespace rfv {
+namespace fuzzing {
+
+/// Trusted reference evaluator for reporting-function (window) calls:
+/// a deliberately naive O(n²)-per-partition implementation that shares
+/// no code with the engine's operator (exec/window.cc). Every output
+/// value is recomputed from scratch by scanning the whole partition —
+/// no sliding state, no monotonic deques, no compensated summation —
+/// so a bug in the engine's incremental machinery cannot also hide
+/// here. Semantics follow SQL: aggregates skip NULL arguments, SUM/AVG/
+/// MIN/MAX over an argument-free frame are NULL, COUNT of an empty
+/// frame is 0, ROWS frames are positional after a stable sort on
+/// (partition keys, order key), RANK counts strictly-smaller order
+/// keys, NULL order keys sort first.
+
+/// One window call described by column indices into the input rows.
+struct RefWindowCall {
+  FuzzFn fn = FuzzFn::kSum;
+  FuzzFrame frame;         ///< ignored for ranking functions
+  int partition_col = -1;  ///< -1 = single partition
+  int order_col = 0;
+  bool order_desc = false;  ///< ranking only (frames require ascending)
+  int arg_col = -1;         ///< -1 for COUNT(*) and ranking functions
+};
+
+/// Evaluates the call over `rows`, returning one output value per input
+/// row, aligned with the input order.
+std::vector<Value> ReferenceWindow(const std::vector<Row>& rows,
+                                   const RefWindowCall& call);
+
+}  // namespace fuzzing
+}  // namespace rfv
+
+#endif  // RFVIEW_TESTING_REFERENCE_WINDOW_H_

@@ -1,0 +1,42 @@
+#ifndef RFVIEW_TESTING_SHRINKER_H_
+#define RFVIEW_TESTING_SHRINKER_H_
+
+#include <string>
+
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+
+namespace rfv {
+namespace fuzzing {
+
+/// Greedy delta-debugging of a failing scenario: repeatedly removes
+/// pieces (DML batches after the first failing round, queries, views,
+/// DML ops, row chunks then single rows, the partition column) and
+/// simplifies what remains (values to 0, sliding frames narrowed) while
+/// a failure of the SAME oracle still reproduces. Dense scenarios are
+/// re-densified after row removal so the sequence-view invariant
+/// (positions 1..n) survives shrinking.
+
+struct ShrinkResult {
+  Scenario scenario;        ///< the minimized scenario
+  ScenarioVerdict verdict;  ///< its (still failing) verdict
+  int attempts = 0;         ///< oracle replays spent shrinking
+  int accepted = 0;         ///< mutations that kept the failure
+};
+
+/// Minimizes `failing`. `options` must be the options the failure was
+/// found under (corruption hooks included), or nothing will reproduce
+/// and the scenario comes back unshrunk. Bounded work: at most a few
+/// hundred oracle replays.
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const OracleOptions& options = {});
+
+/// Replayable repro artifact: the scenario's SQL transcript followed by
+/// the verdict as `--` comments. Written to disk by rfview_fuzz when a
+/// campaign finds a mismatch.
+std::string ReproSql(const Scenario& scenario, const ScenarioVerdict& verdict);
+
+}  // namespace fuzzing
+}  // namespace rfv
+
+#endif  // RFVIEW_TESTING_SHRINKER_H_

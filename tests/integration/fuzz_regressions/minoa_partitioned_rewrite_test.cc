@@ -1,0 +1,109 @@
+// Regression for a bug found by the first rfview_fuzz campaign
+// (seed 1, iteration 37; minimized repro below).
+//
+// Forcing MinOA (or MaxOA) through Database::Options::force_method on a
+// PARTITIONED query over a PARTITIONED sequence view used to bypass
+// CheckDerivability's partitioning guard: the force-method fallback in
+// Rewriter planned the single-sequence MinOA self-join, whose SQL
+// template has no partition column in the select list or the join
+// predicate. The result dropped the grp column entirely (3 columns
+// shrank to 2) and collapsed all partitions into one sequence.
+//
+// Minimized repro (fuzz_repro_seed1_iter37.sql):
+//   CREATE TABLE t (grp INTEGER, pos INTEGER, val INTEGER);
+//   CREATE MATERIALIZED VIEW v0 AS SELECT grp, pos, SUM(val)
+//     OVER (PARTITION BY grp ORDER BY pos
+//           ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) FROM t;
+//   SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+//     ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) FROM t ORDER BY grp, pos;
+//   -- with options.force_method = kMinoa
+//
+// Expected behavior after the fix: forced MaxOA/MinOA on partitioned
+// pairs is "not derivable" — the rewriter leaves the query to the
+// native operator (no rewrite) rather than producing wrong shape/rows.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "rewrite/derivability.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::MustExecute;
+using testutil::RowsEqualCanonical;
+
+class MinoaPartitionedRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(db_, "CREATE TABLE t (grp INTEGER, pos INTEGER, val INTEGER)");
+    MustExecute(db_,
+                "INSERT INTO t VALUES (0, 1, 10), (0, 2, 20), (0, 3, 30), "
+                "(1, 1, -5), (1, 2, 5)");
+    MustExecute(db_,
+                "CREATE MATERIALIZED VIEW v0 AS SELECT grp, pos, SUM(val) "
+                "OVER (PARTITION BY grp ORDER BY pos ROWS BETWEEN 0 "
+                "PRECEDING AND 1 FOLLOWING) FROM t");
+  }
+
+  ResultSet Query() {
+    return MustExecute(
+        db_,
+        "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos "
+        "ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) FROM t "
+        "ORDER BY grp, pos");
+  }
+
+  Database db_;
+};
+
+TEST_F(MinoaPartitionedRewriteTest, ForcedMinoaDoesNotCollapsePartitions) {
+  db_.options().enable_view_rewrite = false;
+  const ResultSet native = Query();
+  ASSERT_EQ(native.schema().NumColumns(), 3u);
+
+  db_.options().enable_view_rewrite = true;
+  db_.options().force_method = DerivationMethod::kMinoa;
+  const ResultSet forced = Query();
+
+  // The forced method is not derivable for partitioned pairs; the query
+  // must fall through to the native operator unrewritten.
+  EXPECT_TRUE(forced.rewrite_method().empty())
+      << "rewrote as " << forced.rewrite_method() << ": "
+      << forced.rewritten_sql();
+  EXPECT_EQ(forced.schema().NumColumns(), 3u);
+  EXPECT_TRUE(RowsEqualCanonical(native, forced));
+}
+
+TEST_F(MinoaPartitionedRewriteTest, ForcedMaxoaDoesNotCollapsePartitions) {
+  db_.options().enable_view_rewrite = false;
+  const ResultSet native = Query();
+
+  db_.options().enable_view_rewrite = true;
+  db_.options().force_method = DerivationMethod::kMaxoa;
+  const ResultSet forced = Query();
+
+  EXPECT_TRUE(forced.rewrite_method().empty())
+      << "rewrote as " << forced.rewrite_method() << ": "
+      << forced.rewritten_sql();
+  EXPECT_EQ(forced.schema().NumColumns(), 3u);
+  EXPECT_TRUE(RowsEqualCanonical(native, forced));
+}
+
+// The automatic path was always correct (identical windows → direct
+// hit); pin that down so the guard never over-corrects.
+TEST_F(MinoaPartitionedRewriteTest, AutomaticDirectHitStillFires) {
+  db_.options().enable_view_rewrite = false;
+  const ResultSet native = Query();
+
+  db_.options().enable_view_rewrite = true;
+  db_.options().force_method = std::nullopt;
+  const ResultSet rewritten = Query();
+
+  EXPECT_EQ(rewritten.rewrite_method(), "direct");
+  EXPECT_TRUE(RowsEqualCanonical(native, rewritten));
+}
+
+}  // namespace
+}  // namespace rfv

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "testing/result_compare.h"
 
 namespace rfv {
 namespace testutil {
@@ -21,39 +22,28 @@ inline ResultSet MustExecute(Database& db, const std::string& sql) {
 }
 
 /// True when both result sets have identical values row by row.
+/// Thin alias over the fuzz harness's comparison module — the single
+/// implementation of row value-equality (src/testing/result_compare.h).
 inline bool SameRows(const ResultSet& a, const ResultSet& b) {
-  if (a.NumRows() != b.NumRows()) return false;
-  if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
-  for (size_t i = 0; i < a.NumRows(); ++i) {
-    for (size_t c = 0; c < a.schema().NumColumns(); ++c) {
-      if (a.at(i, c) != b.at(i, c)) return false;
-    }
-  }
-  return true;
+  return fuzzing::SameRows(a, b);
 }
 
-/// gtest-friendly diff of two result sets.
+/// gtest-friendly diff of two result sets (same shared implementation).
 inline ::testing::AssertionResult RowsEqual(const ResultSet& a,
                                             const ResultSet& b) {
-  if (SameRows(a, b)) return ::testing::AssertionSuccess();
-  auto result = ::testing::AssertionFailure();
-  result << "result sets differ: " << a.NumRows() << " vs " << b.NumRows()
-         << " rows";
-  const size_t n = std::min<size_t>(std::min(a.NumRows(), b.NumRows()), 10);
-  for (size_t i = 0; i < n; ++i) {
-    std::string left;
-    std::string right;
-    for (size_t c = 0; c < a.schema().NumColumns(); ++c) {
-      left += (c != 0 ? ", " : "") + a.at(i, c).ToString();
-    }
-    for (size_t c = 0; c < b.schema().NumColumns(); ++c) {
-      right += (c != 0 ? ", " : "") + b.at(i, c).ToString();
-    }
-    if (left != right) {
-      result << "\n  row " << i << ": (" << left << ") vs (" << right << ")";
-    }
-  }
-  return result;
+  const std::optional<std::string> diff = fuzzing::DiffRows(a, b);
+  if (!diff.has_value()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "result sets differ:\n" << *diff;
+}
+
+/// RowsEqual under canonical row ordering (order-insensitive compare —
+/// for plans that legitimately emit rows in different orders).
+inline ::testing::AssertionResult RowsEqualCanonical(const ResultSet& a,
+                                                     const ResultSet& b) {
+  const std::optional<std::string> diff = fuzzing::DiffRowsCanonical(a, b);
+  if (!diff.has_value()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "result sets differ (canonical order):\n" << *diff;
 }
 
 /// Creates seq(pos INTEGER PRIMARY KEY, val DOUBLE) with n rows; values

@@ -1,0 +1,121 @@
+// Harness-level tests for the differential fuzzer: generator
+// determinism (same seed → byte-identical scenarios AND byte-identical
+// verdicts, with the parallel oracle active), clean verdicts on fixed
+// seeds, the injected-off-by-one catch + shrink-to-tiny-repro
+// guarantee, and the metrics counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics_registry.h"
+#include "testing/generator.h"
+#include "testing/oracle.h"
+#include "testing/shrinker.h"
+
+namespace rfv {
+namespace fuzzing {
+namespace {
+
+TEST(FuzzGeneratorTest, SameSeedSameScenarioBytes) {
+  for (int i = 0; i < 40; ++i) {
+    const Scenario a = GenerateScenario(7, i);
+    const Scenario b = GenerateScenario(7, i);
+    EXPECT_EQ(a.ToSqlScript(), b.ToSqlScript()) << "iter " << i;
+  }
+}
+
+TEST(FuzzGeneratorTest, DifferentSeedsDiffer) {
+  int different = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (GenerateScenario(1, i).ToSqlScript() !=
+        GenerateScenario(2, i).ToSqlScript()) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 5);
+}
+
+TEST(FuzzGeneratorTest, CoversAllScenarioKinds) {
+  bool saw[3] = {false, false, false};
+  for (int i = 0; i < 50; ++i) {
+    saw[static_cast<int>(GenerateScenario(3, i).kind)] = true;
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+// Same seed → byte-identical verdict summaries across two runs, with
+// the parallel oracle running at 4 workers (the acceptance criterion's
+// exec.window_workers = 4 configuration).
+TEST(FuzzOracleTest, SameSeedSameVerdictBytes) {
+  OracleOptions opts;
+  opts.parallel_workers = 4;
+  for (int i = 0; i < 15; ++i) {
+    const Scenario s = GenerateScenario(11, i);
+    const ScenarioVerdict a = RunScenario(s, opts);
+    const ScenarioVerdict b = RunScenario(s, opts);
+    EXPECT_EQ(a.Summary(), b.Summary()) << s.Id();
+  }
+}
+
+TEST(FuzzOracleTest, FixedSeedsRunGreen) {
+  for (int i = 0; i < 30; ++i) {
+    const Scenario s = GenerateScenario(5, i);
+    const ScenarioVerdict v = RunScenario(s);
+    EXPECT_TRUE(v.ok()) << s.Id() << "\n" << v.Summary() << "\n"
+                        << s.ToSqlScript();
+    EXPECT_GT(v.TotalChecks(), 0) << s.Id();
+  }
+}
+
+TEST(FuzzOracleTest, MetricsCountersAdvance) {
+  Counter* scenarios = MetricsRegistry::Global().GetCounter(
+      "rfv_fuzz_scenarios_total");
+  Counter* checks = MetricsRegistry::Global().GetCounter(
+      "rfv_fuzz_checks_total");
+  const int64_t scenarios_before = scenarios->value();
+  const int64_t checks_before = checks->value();
+  RunScenario(GenerateScenario(5, 0));
+  EXPECT_EQ(scenarios->value(), scenarios_before + 1);
+  EXPECT_GT(checks->value(), checks_before);
+}
+
+// The acceptance drill: an injected off-by-one (the corruption hook
+// simulates the classic frame bug in a scratch build) must be caught by
+// the reference oracle and shrunk to a tiny repro — ≤ 20 rows.
+TEST(FuzzShrinkerTest, InjectedOffByOneCaughtAndShrunk) {
+  OracleOptions opts;
+  opts.corruption = OracleOptions::Corruption::kOffByOne;
+  int caught = 0;
+  for (int i = 0; i < 10 && caught < 3; ++i) {
+    const Scenario s = GenerateScenario(42, i);
+    const ScenarioVerdict v = RunScenario(s, opts);
+    if (v.ok()) continue;  // e.g. scenarios whose last window value is
+                           // unchanged by the perturbation
+    ++caught;
+    const ShrinkResult shrunk = ShrinkScenario(s, opts);
+    EXPECT_FALSE(shrunk.verdict.ok()) << s.Id();
+    EXPECT_LE(shrunk.scenario.rows.size(), 20u) << s.Id();
+    EXPECT_EQ(shrunk.verdict.failures.front().oracle,
+              v.failures.front().oracle)
+        << s.Id();
+
+    const std::string repro = ReproSql(shrunk.scenario, shrunk.verdict);
+    EXPECT_NE(repro.find("CREATE TABLE"), std::string::npos);
+    EXPECT_NE(repro.find("-- verdict: FAIL"), std::string::npos);
+  }
+  EXPECT_GE(caught, 3) << "corruption hook failed to trigger";
+}
+
+// Shrinking a healthy scenario is a no-op.
+TEST(FuzzShrinkerTest, CleanScenarioIsNotShrunk) {
+  const Scenario s = GenerateScenario(5, 1);
+  const ShrinkResult r = ShrinkScenario(s);
+  EXPECT_TRUE(r.verdict.ok());
+  EXPECT_EQ(r.accepted, 0);
+  EXPECT_EQ(r.scenario.ToSqlScript(), s.ToSqlScript());
+}
+
+}  // namespace
+}  // namespace fuzzing
+}  // namespace rfv
