@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "db/database.h"
 #include "sequence/compute.h"
 #include "sequence/maxoa.h"
 #include "sequence/minoa.h"
@@ -99,6 +102,111 @@ void BM_Derive_MinoaViewWidth(benchmark::State& state) {
   state.counters["wx"] = static_cast<double>(view_spec.size());
 }
 BENCHMARK(BM_Derive_MinoaViewWidth)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// ---------------------------------------------------------------------
+// SQL-level frame-overlap sweep: the full stack (rewriter + cost model +
+// pattern SQL + executor) answering a widened window query from a
+// materialized view, with the derivation method chosen by the cost
+// model vs. forced. The MaxOA disjunction carries 1 + 2·(active sides)
+// congruence branches against MinOA's 2 (1 in the coincident class),
+// and every branch is swept over all n·m join pairs — so the per-config
+// winner tracks the branch count, which is what the cost model prices.
+// Configs (view_l, view_h, query_l, query_h) at n = 2000:
+//   * both-sided growth  (40,40)→(44,44): MaxOA 5 branches vs MinOA 2
+//   * one-sided growth   (40, 0)→(44, 0): MaxOA 3 branches vs MinOA 2
+//   * coincident class   (40,40)→(121,41): Δl+Δh = w_x → MinOA 1 branch
+// ---------------------------------------------------------------------
+
+struct SqlSweepConfig {
+  int64_t view_l, view_h, query_l, query_h;
+};
+
+const SqlSweepConfig kSweepConfigs[] = {
+    {40, 40, 44, 44},
+    {40, 0, 44, 0},
+    {40, 40, 121, 41},
+};
+
+std::unique_ptr<Database> MakeSweepDb(const SqlSweepConfig& config,
+                                      int64_t n) {
+  auto db = std::make_unique<Database>();
+  std::string ddl = "CREATE TABLE seq (pos INTEGER PRIMARY KEY, val DOUBLE)";
+  if (!db->Execute(ddl).ok()) return nullptr;
+  std::string insert = "INSERT INTO seq VALUES ";
+  for (int64_t i = 1; i <= n; ++i) {
+    if (i > 1) insert += ",";
+    insert += "(" + std::to_string(i) + "," +
+              std::to_string((i * 37 + 11) % 101 - 23) + ")";
+  }
+  if (!db->Execute(insert).ok()) return nullptr;
+  const std::string view =
+      "CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER (ORDER BY "
+      "pos ROWS BETWEEN " +
+      std::to_string(config.view_l) + " PRECEDING AND " +
+      std::to_string(config.view_h) + " FOLLOWING) FROM seq";
+  if (!db->Execute(view).ok()) return nullptr;
+  return db;
+}
+
+std::string SweepQuery(const SqlSweepConfig& config) {
+  return "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN " +
+         std::to_string(config.query_l) + " PRECEDING AND " +
+         std::to_string(config.query_h) +
+         " FOLLOWING) FROM seq ORDER BY pos";
+}
+
+constexpr int64_t kSweepRows = 2000;
+
+/// method: 0 = automatic (cost model), 1 = forced MaxOA, 2 = forced
+/// MinOA, 3 = native recompute (rewrite disabled).
+void RunSqlSweep(benchmark::State& state, int method) {
+  const SqlSweepConfig& config =
+      kSweepConfigs[static_cast<size_t>(state.range(0))];
+  std::unique_ptr<Database> db = MakeSweepDb(config, kSweepRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  switch (method) {
+    case 0: break;
+    case 1: db->options().force_method = DerivationMethod::kMaxoa; break;
+    case 2: db->options().force_method = DerivationMethod::kMinoa; break;
+    default: db->options().enable_view_rewrite = false; break;
+  }
+  const std::string sql = SweepQuery(config);
+  std::string chosen = "native";
+  for (auto _ : state) {
+    Result<ResultSet> rs = db->Execute(sql);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      return;
+    }
+    if (!rs->rewrite_method().empty()) chosen = rs->rewrite_method();
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetLabel(chosen);
+}
+
+void BM_SqlDerive_CostModel(benchmark::State& state) {
+  RunSqlSweep(state, 0);
+}
+void BM_SqlDerive_ForcedMaxoa(benchmark::State& state) {
+  RunSqlSweep(state, 1);
+}
+void BM_SqlDerive_ForcedMinoa(benchmark::State& state) {
+  RunSqlSweep(state, 2);
+}
+void BM_SqlDerive_NativeRecompute(benchmark::State& state) {
+  RunSqlSweep(state, 3);
+}
+BENCHMARK(BM_SqlDerive_CostModel)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqlDerive_ForcedMaxoa)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqlDerive_ForcedMinoa)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqlDerive_NativeRecompute)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rfv

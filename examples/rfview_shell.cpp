@@ -19,12 +19,15 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "db/csv.h"
 #include "db/database.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
 
 namespace {
 
@@ -38,6 +41,9 @@ void PrintHelp() {
       "  \\force auto|maxoa|minoa      derivation algorithm choice\n"
       "  \\import <table> <file.csv>   load CSV into an existing table\n"
       "  \\export <table> <file.csv>   write a table as CSV\n"
+      "  \\stats [table]   table statistics (ANALYZE refreshes them)\n"
+      "  \\cost on|off     cost-based derivation choice (off = paper's\n"
+      "                   static preference order)\n"
       "  \\metrics [save <file>]       process metrics (Prometheus text)\n"
       "  \\trace on|off    record query-lifecycle traces\n"
       "  \\trace show      spans of the most recent traced query\n"
@@ -83,6 +89,28 @@ bool HandleMeta(rfv::Database& db, const std::string& line) {
     db.options().force_method = rfv::DerivationMethod::kMinoa;
   } else if (lower == "\\force auto") {
     db.options().force_method.reset();
+  } else if (lower == "\\cost on") {
+    db.options().use_cost_model = true;
+  } else if (lower == "\\cost off") {
+    db.options().use_cost_model = false;
+  } else if (lower == "\\stats" || lower.rfind("\\stats ", 0) == 0) {
+    std::vector<std::string> names;
+    if (lower == "\\stats") {
+      names = db.catalog()->TableNames();
+    } else {
+      names.push_back(
+          rfv::ToLower(line.substr(std::string("\\stats ").size())));
+    }
+    if (names.empty()) std::printf("(no tables)\n");
+    for (const std::string& name : names) {
+      rfv::Result<rfv::Table*> table = db.catalog()->GetTable(name);
+      if (!table.ok()) {
+        std::printf("error: %s\n", table.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s:\n%s", name.c_str(),
+                  (*table)->stats().ToString((*table)->schema()).c_str());
+    }
   } else if (lower == "\\metrics" || lower == ".metrics") {
     std::printf("%s", rfv::Database::MetricsText().c_str());
   } else if (lower.rfind("\\metrics save ", 0) == 0) {

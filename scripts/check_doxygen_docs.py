@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fail when a public declaration in a header lacks a Doxygen comment.
+
+Usage: check_doxygen_docs.py [header-or-directory ...]
+
+Defaults to src/stats (the statistics/cost-model subsystem, whose CI
+docs job gates on this script). Runs anywhere Python 3 runs — no
+doxygen needed — so the same check works locally and in CI:
+
+    python3 scripts/check_doxygen_docs.py          # src/stats headers
+    python3 scripts/check_doxygen_docs.py src      # whole tree
+
+A declaration is "documented" when the nearest preceding non-blank
+line is a Doxygen comment (``///`` or a ``/** ... */`` block) or the
+declaration carries a trailing ``///<``. Consecutive declarations
+under one doc comment form a group and share it (Doxygen renders them
+adjacently; splitting the comment adds nothing), but a blank line
+breaks the group, so stray undocumented members still fail.
+
+The parser is deliberately structural, not a C++ front end: it looks
+at top-level (indent 0) and aggregate-member (indent 2) lines only,
+which matches this repo's enforced clang-format layout. Continuation
+lines of multi-line signatures are indented deeper and ignored.
+"""
+
+import pathlib
+import re
+import sys
+
+# Lines that can never *start* a public declaration.
+SKIP_RE = re.compile(
+    r"^\s*($|#|//|/\*|\*|\}|\)|namespace\b|public:|private:|protected:|"
+    r"using\b|template\b|friend\b|typedef\b|return\b|if\b|for\b|while\b|"
+    r"switch\b|case\b|default:|else\b|extern\b)"
+)
+
+# A declaration start at the indents we inspect: a type-ish token
+# followed by more tokens, ending in ';', '{', ',' or an open paren
+# somewhere on the line. Examples: "struct CostEstimate {",
+# "double min_value = 0;", "CostEstimate EstimateDirectCost(".
+DECL_RE = re.compile(r"^(struct|class|enum)\s+\w+|^[A-Za-z_][\w:<>,&*\s]*\s[\w~&*]+\s*[({=;[]")
+
+
+def check_header(path: pathlib.Path) -> list:
+    violations = []
+    in_block_comment = False
+    # True while the current run of adjacent declarations is covered by
+    # a doc comment; any blank or non-declaration line resets it.
+    in_doc_group = False
+    prev_was_doc = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+                prev_was_doc = True
+            continue
+        if stripped.startswith("/**") or stripped.startswith("/*!"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            else:
+                prev_was_doc = True
+            continue
+        if stripped.startswith("///"):
+            prev_was_doc = True
+            continue
+        if not stripped:
+            prev_was_doc = False
+            in_doc_group = False
+            continue
+
+        indent = len(line) - len(line.lstrip())
+        if indent not in (0, 2) or SKIP_RE.match(line) or not DECL_RE.match(stripped):
+            prev_was_doc = False
+            if indent not in (0, 2):
+                continue  # continuation / body line: keep the group alive
+            in_doc_group = False
+            continue
+
+        documented = prev_was_doc or in_doc_group or "///<" in line
+        if not documented:
+            violations.append((path, lineno, stripped))
+        in_doc_group = documented
+        prev_was_doc = False
+    return violations
+
+
+def collect_headers(args: list) -> list:
+    roots = [pathlib.Path(a) for a in args] or [pathlib.Path("src/stats")]
+    headers = []
+    for root in roots:
+        if root.is_dir():
+            headers.extend(sorted(root.rglob("*.h")))
+        else:
+            headers.append(root)
+    return headers
+
+
+def main() -> int:
+    headers = collect_headers(sys.argv[1:])
+    if not headers:
+        print("check_doxygen_docs: no headers found", file=sys.stderr)
+        return 2
+    violations = []
+    for header in headers:
+        violations.extend(check_header(header))
+    for path, lineno, text in violations:
+        print(f"{path}:{lineno}: undocumented public declaration: {text}")
+    print(
+        f"check_doxygen_docs: {len(headers)} header(s), "
+        f"{len(violations)} undocumented declaration(s)"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 #include "expr/eval.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
+#include "plan/cardinality.h"
 #include "plan/planner.h"
 
 namespace rfv {
@@ -42,6 +43,28 @@ ResultSet TextToResultSet(const std::string& text) {
     start = end + 1;
   }
   return ResultSet(std::move(schema), std::move(rows));
+}
+
+/// Renders the rewriter's decision record for plain EXPLAIN: the
+/// outcome line, one line per (view, method) alternative with its cost
+/// estimate (or not-derivable reason), and the recompute baseline.
+std::string FormatRewriteDecision(const RewriteDecision& decision) {
+  std::string text = "Rewrite: " + decision.summary + "\n";
+  for (const CandidateVerdict& v : decision.verdicts) {
+    text += "  candidate " + v.view_name;
+    if (v.derivable) {
+      text += " via " + std::string(DerivationMethodName(v.method));
+      if (!v.detail.empty()) text += ": " + v.detail;
+      if (v.chosen) text += " (chosen)";
+    } else {
+      text += ": " + v.detail;
+    }
+    text += "\n";
+  }
+  if (decision.baseline.has_value()) {
+    text += "  baseline recompute: " + decision.baseline->Summary() + "\n";
+  }
+  return text;
 }
 
 bool IsConstExpr(const Expr& e) {
@@ -219,6 +242,7 @@ Result<std::string> Database::Explain(const std::string& sql) {
   LogicalPlanPtr plan;
   RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
   plan = OptimizePlan(std::move(plan));
+  EstimateCardinality(plan.get());
   return plan->ToString();
 }
 
@@ -240,6 +264,8 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
       return ExecuteCreateView(*stmt.create_view);
     case Statement::Kind::kDropTable:
       return ExecuteDropTable(*stmt.drop_table);
+    case Statement::Kind::kAnalyze:
+      return ExecuteAnalyze(*stmt.analyze);
     case Statement::Kind::kExplain:
       return ExecuteExplain(stmt);
   }
@@ -278,27 +304,35 @@ Result<ResultSet> Database::ExecuteExplain(const Statement& stmt) {
     return rs;
   }
   // Plain EXPLAIN SELECT: the optimized logical plan — preceded by the
-  // rewrite decision, if the view rewriter would answer the query from
-  // a materialized view.
+  // rewrite decision whenever the statement was a recognizable window
+  // query, including when the verdict was "no rewrite" (the
+  // per-candidate record prints without tracing enabled).
   std::string text;
   if (options_.enable_view_rewrite) {
     RewriteOptions rewrite_options;
     rewrite_options.variant = options_.rewrite_variant;
     rewrite_options.force_method = options_.force_method;
+    rewrite_options.use_cost_model = options_.use_cost_model;
+    RewriteDecision decision;
     std::optional<RewriteResult> rewrite;
-    RFV_ASSIGN_OR_RETURN(rewrite,
-                         rewriter_.TryRewrite(*stmt.select, rewrite_options));
-    if (rewrite.has_value()) {
+    RFV_ASSIGN_OR_RETURN(rewrite, rewriter_.TryRewrite(*stmt.select,
+                                                       rewrite_options,
+                                                       &decision));
+    if (!decision.summary.empty()) {
+      text += FormatRewriteDecision(decision);
+    } else if (rewrite.has_value()) {
+      // Forced-method / static-order paths fill no decision record.
       text += "Rewrite: " +
               std::string(DerivationMethodName(rewrite->choice.method)) +
-              " using view " + rewrite->choice.view->view_name + "\n" +
-              rewrite->sql + "\n";
+              " using view " + rewrite->choice.view->view_name + "\n";
     }
+    if (rewrite.has_value()) text += rewrite->sql + "\n";
   }
   Binder binder(&catalog_);
   LogicalPlanPtr plan;
   RFV_ASSIGN_OR_RETURN(plan, binder.BindSelect(*stmt.select));
   plan = OptimizePlan(std::move(plan));
+  EstimateCardinality(plan.get());
   text += plan->ToString();
   return TextToResultSet(text);
 }
@@ -386,6 +420,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     RewriteOptions rewrite_options;
     rewrite_options.variant = options_.rewrite_variant;
     rewrite_options.force_method = options_.force_method;
+    rewrite_options.use_cost_model = options_.use_cost_model;
     const SteadyClock::time_point rewrite_start = SteadyClock::now();
     std::optional<RewriteResult> rewrite;
     RFV_ASSIGN_OR_RETURN(rewrite,
@@ -433,6 +468,10 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
   {
     TraceSpan span("plan");
     plan = OptimizePlan(std::move(plan));
+    // Annotate estimates before lowering: BuildPhysicalPlan stamps each
+    // node's est_rows onto its operator for EXPLAIN ANALYZE's
+    // estimated-vs-actual columns.
+    EstimateCardinality(plan.get());
     // Build and run the physical plan here (rather than through
     // ExecutePlan) so the operator tree survives long enough to harvest
     // its per-operator metrics into the result.
@@ -650,6 +689,33 @@ Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
   std::vector<Row> rows = rs.rows();
   RFV_RETURN_IF_ERROR(table->InsertBatch(std::move(rows)));
   return ResultSet::ForDml(static_cast<int64_t>(table->NumRows()));
+}
+
+Result<ResultSet> Database::ExecuteAnalyze(const AnalyzeStmt& stmt) {
+  // ANALYZE [table]: recompute full column statistics (distinct counts,
+  // exact ranges) for one table or for every catalog table — including
+  // materialized view content tables, which live in the same catalog.
+  TraceSpan span("analyze");
+  static Counter* analyzes = MetricsRegistry::Global().GetCounter(
+      "rfv_analyze_runs_total", {},
+      "Tables analyzed through the ANALYZE statement");
+  int64_t analyzed = 0;
+  if (!stmt.table_name.empty()) {
+    Result<Table*> table = catalog_.GetTable(stmt.table_name);
+    if (!table.ok()) return table.status();
+    (*table)->Analyze();
+    ++analyzed;
+  } else {
+    for (const std::string& name : catalog_.TableNames()) {
+      Result<Table*> table = catalog_.GetTable(name);
+      if (!table.ok()) return table.status();
+      (*table)->Analyze();
+      ++analyzed;
+    }
+  }
+  analyzes->Increment(analyzed);
+  if (span.active()) span.AddArg("tables", std::to_string(analyzed));
+  return ResultSet::ForDml(analyzed);
 }
 
 Result<ResultSet> Database::ExecuteDropTable(const DropTableStmt& stmt) {

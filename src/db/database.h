@@ -40,6 +40,11 @@ class Database {
     RewriteVariant rewrite_variant = RewriteVariant::kDisjunctive;
     /// Force MaxOA or MinOA instead of the automatic choice.
     std::optional<DerivationMethod> force_method;
+    /// Automatic derivation choice prices every (view, method)
+    /// alternative against live table statistics, including declining
+    /// the rewrite when base-table recompute estimates cheaper; off =
+    /// the paper's static preference order, always rewriting.
+    bool use_cost_model = true;
     /// Record a query-lifecycle trace for every Execute() call and
     /// attach it to the ResultSet (exportable as Chrome trace-event
     /// JSON). Off by default: tracing costs a few clock reads per
@@ -86,6 +91,7 @@ class Database {
   Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
   Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt);
   Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
+  Result<ResultSet> ExecuteAnalyze(const AnalyzeStmt& stmt);
 
   Catalog catalog_;
   ViewManager views_;

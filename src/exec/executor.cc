@@ -154,8 +154,12 @@ Result<PhysicalOperatorPtr> BuildJoin(const LogicalPlan& plan,
 
 }  // namespace
 
-Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
-                                              const ExecOptions& options) {
+namespace {
+
+/// The per-kind lowering; BuildPhysicalPlan wraps it to stamp each
+/// node's cardinality estimate onto the operator it produced.
+Result<PhysicalOperatorPtr> BuildPhysicalPlanNode(const LogicalPlan& plan,
+                                                  const ExecOptions& options) {
   switch (plan.kind) {
     case PlanKind::kScan:
       return PhysicalOperatorPtr(new TableScanOp(plan.schema, plan.table));
@@ -230,6 +234,20 @@ Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
   return Status::Internal("unreachable plan kind");
 }
 
+}  // namespace
+
+Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
+                                              const ExecOptions& options) {
+  PhysicalOperatorPtr op;
+  RFV_ASSIGN_OR_RETURN(op, BuildPhysicalPlanNode(plan, options));
+  // Recursive builds go through this wrapper too, so every operator in
+  // the tree carries its logical node's estimate (the index
+  // nested-loop join consumes the right-side scan without an operator;
+  // that estimate is intentionally dropped with it).
+  op->SetEstimatedRows(plan.est_rows);
+  return op;
+}
+
 namespace {
 
 void CollectMetricsInto(const PhysicalOperator& op, int depth,
@@ -239,6 +257,7 @@ void CollectMetricsInto(const PhysicalOperator& op, int depth,
   OperatorMetricsEntry entry;
   entry.name = op.name();
   entry.depth = depth;
+  entry.est_rows = op.estimated_rows();
   entry.metrics = op.metrics();
   for (const PhysicalOperator* child : children) {
     entry.rows_in += child->metrics().rows_out;
@@ -263,13 +282,23 @@ namespace {
 /// One formatted metrics line: `label` padded, then the counters.
 std::string FormatMetricsLine(const std::string& label,
                               const OperatorMetricsEntry& e) {
-  char line[256];
+  // Planner estimate next to the measured rows_out; "-" when the plan
+  // was never run through EstimateCardinality (or the entry is a
+  // rollup, where per-instance estimates don't sum meaningfully).
+  char est[32];
+  if (e.est_rows >= 0) {
+    std::snprintf(est, sizeof(est), "%lld",
+                  static_cast<long long>(e.est_rows + 0.5));
+  } else {
+    std::snprintf(est, sizeof(est), "-");
+  }
+  char line[288];
   std::snprintf(
       line, sizeof(line),
-      "%-24s rows_in=%-9lld rows_out=%-9lld next_calls=%-9lld "
+      "%-24s rows_in=%-9lld rows_out=%-9lld est=%-9s next_calls=%-9lld "
       "open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
       label.c_str(), static_cast<long long>(e.rows_in),
-      static_cast<long long>(e.metrics.rows_out),
+      static_cast<long long>(e.metrics.rows_out), est,
       static_cast<long long>(e.metrics.next_calls),
       static_cast<double>(e.metrics.open_ns) / 1e6,
       static_cast<double>(e.metrics.next_ns) / 1e6,

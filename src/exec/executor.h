@@ -82,6 +82,13 @@ class PhysicalOperator {
 
   const OperatorMetrics& metrics() const { return metrics_; }
 
+  /// Planner-estimated output rows (LogicalPlan::est_rows), stamped by
+  /// BuildPhysicalPlan; -1 when the plan was not estimated. Read back by
+  /// CollectMetrics for the estimated-vs-actual columns of EXPLAIN
+  /// ANALYZE.
+  void SetEstimatedRows(double est) { estimated_rows_ = est; }
+  double estimated_rows() const { return estimated_rows_; }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Status NextImpl(Row* row, bool* eof) = 0;
@@ -98,6 +105,7 @@ class PhysicalOperator {
 
  private:
   OperatorMetrics metrics_;
+  double estimated_rows_ = -1;
 };
 
 using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
@@ -109,6 +117,9 @@ struct OperatorMetricsEntry {
   std::string name;
   int depth = 0;
   int64_t rows_in = 0;
+  /// Planner estimate for this operator's output (-1 = not estimated);
+  /// printed as `est=` next to the measured rows_out.
+  double est_rows = -1;
   OperatorMetrics metrics;
 };
 

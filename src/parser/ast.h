@@ -214,6 +214,12 @@ struct DropTableStmt {
   std::string table_name;
 };
 
+/// ANALYZE [table] — recompute statistics (stats/table_stats.h) for one
+/// table / view content table, or for every table when no name is given.
+struct AnalyzeStmt {
+  std::string table_name;  ///< empty = all tables
+};
+
 /// Top-level statement (tagged union of owned alternatives).
 struct Statement {
   enum class Kind {
@@ -225,6 +231,7 @@ struct Statement {
     kDelete,
     kCreateView,
     kDropTable,
+    kAnalyze,  ///< ANALYZE [table] — statistics recomputation
     kExplain,  ///< EXPLAIN [ANALYZE] <stmt> — `explained_kind` tags which
                ///< of the owned alternatives holds the target statement
   };
@@ -243,6 +250,7 @@ struct Statement {
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<CreateViewStmt> create_view;
   std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<AnalyzeStmt> analyze;
 };
 
 }  // namespace rfv

@@ -165,6 +165,15 @@ Result<Statement> Parser::ParseSingleStatement() {
   if (CheckKeyword("update")) return ParseUpdate();
   if (CheckKeyword("delete")) return ParseDelete();
   if (CheckKeyword("drop")) return ParseDrop();
+  if (AcceptKeyword("analyze")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kAnalyze;
+    stmt.analyze = std::make_unique<AnalyzeStmt>();
+    if (Peek().type == TokenType::kIdentifier && !AtReservedKeyword()) {
+      stmt.analyze->table_name = Advance().text;
+    }
+    return stmt;
+  }
   if (AcceptKeyword("explain")) {
     const bool analyze = AcceptKeyword("analyze");
     if (!CheckKeyword("select") && !CheckKeyword("insert") &&

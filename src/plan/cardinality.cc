@@ -1,0 +1,161 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfv {
+
+namespace {
+
+constexpr double kDefaultSelectivity = 0.33;
+constexpr double kRangeSelectivity = 0.25;
+
+/// Distinct count of the column `index` refers to when `input` is a
+/// base-table scan with analyzed statistics; -1 otherwise.
+int64_t DistinctOf(const LogicalPlan& input, size_t index) {
+  if (input.kind != PlanKind::kScan || input.table == nullptr) return -1;
+  const TableStats& stats = input.table->stats();
+  if (index >= stats.columns.size()) return -1;
+  return stats.columns[index].distinct_count;
+}
+
+double PredicateSelectivity(const Expr& e, const LogicalPlan& input) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kAnd:
+          return PredicateSelectivity(*e.children[0], input) *
+                 PredicateSelectivity(*e.children[1], input);
+        case BinaryOp::kOr: {
+          const double a = PredicateSelectivity(*e.children[0], input);
+          const double b = PredicateSelectivity(*e.children[1], input);
+          return std::min(1.0, a + b - a * b);
+        }
+        case BinaryOp::kEq: {
+          for (int side = 0; side < 2; ++side) {
+            const Expr& col = *e.children[side];
+            const Expr& other = *e.children[1 - side];
+            if (col.kind == ExprKind::kColumnRef &&
+                other.kind != ExprKind::kColumnRef) {
+              const int64_t distinct = DistinctOf(input, col.column_index);
+              if (distinct > 0) return 1.0 / static_cast<double>(distinct);
+              return 0.1;
+            }
+          }
+          return 0.1;
+        }
+        case BinaryOp::kNe:
+          return 0.9;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return kDefaultSelectivity;
+        default:
+          return kDefaultSelectivity;
+      }
+    case ExprKind::kBetween:
+      return kRangeSelectivity;
+    case ExprKind::kIn: {
+      // needle IN (c1..ck): k equality probes.
+      double eq = 0.1;
+      if (e.children[0]->kind == ExprKind::kColumnRef) {
+        const int64_t distinct =
+            DistinctOf(input, e.children[0]->column_index);
+        if (distinct > 0) eq = 1.0 / static_cast<double>(distinct);
+      }
+      return std::min(1.0, eq * static_cast<double>(e.children.size() - 1));
+    }
+    case ExprKind::kIsNull:
+      return e.is_null_negated ? 0.9 : 0.1;
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kNot) {
+        return 1.0 - PredicateSelectivity(*e.children[0], input);
+      }
+      return kDefaultSelectivity;
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+double Estimate(LogicalPlan* plan) {
+  double child_rows = 0;
+  for (auto& child : plan->children) child_rows = Estimate(child.get());
+  // child_rows now holds the LAST child's estimate; joins and unions
+  // read their children's est_rows directly below.
+  double est = 0;
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      est = plan->table != nullptr
+                ? static_cast<double>(plan->table->stats().row_count)
+                : 0;
+      break;
+    case PlanKind::kFilter:
+      est = child_rows *
+            PredicateSelectivity(*plan->predicate, *plan->children[0]);
+      break;
+    case PlanKind::kProject:
+    case PlanKind::kWindow:
+    case PlanKind::kSort:
+      est = child_rows;
+      break;
+    case PlanKind::kJoin: {
+      const double left = plan->children[0]->est_rows;
+      const double right = plan->children[1]->est_rows;
+      const Expr* cond = plan->join_condition.get();
+      const bool equi = cond != nullptr && cond->kind == ExprKind::kBinary &&
+                        cond->binary_op == BinaryOp::kEq &&
+                        cond->children[0]->kind == ExprKind::kColumnRef &&
+                        cond->children[1]->kind == ExprKind::kColumnRef;
+      if (cond == nullptr) {
+        est = left * right;
+      } else if (equi) {
+        // Key–foreign-key containment assumption.
+        est = std::max(left, right);
+      } else {
+        est = left * right * kDefaultSelectivity;
+      }
+      if (plan->join_type == JoinType::kLeftOuter) est = std::max(est, left);
+      break;
+    }
+    case PlanKind::kAggregate: {
+      if (plan->group_by.empty()) {
+        est = 1;
+        break;
+      }
+      // Single-column grouping over a scan: the distinct count. Else
+      // the square-root rule.
+      int64_t distinct = -1;
+      if (plan->group_by.size() == 1 &&
+          plan->group_by[0]->kind == ExprKind::kColumnRef) {
+        distinct =
+            DistinctOf(*plan->children[0], plan->group_by[0]->column_index);
+      }
+      est = distinct > 0 ? static_cast<double>(distinct)
+                         : std::sqrt(std::max(child_rows, 0.0));
+      est = std::min(est, child_rows);
+      break;
+    }
+    case PlanKind::kUnionAll: {
+      est = 0;
+      for (const auto& child : plan->children) est += child->est_rows;
+      break;
+    }
+    case PlanKind::kLimit:
+      est = plan->limit >= 0
+                ? std::min(child_rows, static_cast<double>(plan->limit))
+                : child_rows;
+      break;
+  }
+  plan->est_rows = std::max(0.0, est);
+  return plan->est_rows;
+}
+
+}  // namespace
+
+void EstimateCardinality(LogicalPlan* plan) {
+  if (plan == nullptr) return;
+  Estimate(plan);
+}
+
+}  // namespace rfv

@@ -1,0 +1,30 @@
+#ifndef RFVIEW_PLAN_CARDINALITY_H_
+#define RFVIEW_PLAN_CARDINALITY_H_
+
+#include "plan/logical_plan.h"
+
+namespace rfv {
+
+/// Annotates every node of an optimized logical plan with an estimated
+/// output cardinality (LogicalPlan::est_rows), bottom-up:
+///
+///  * scans read the exact row count from the table's statistics
+///    (stats/table_stats.h — maintained incrementally on DML);
+///  * filters apply textbook selectivities (equality → 1/NDV using the
+///    last ANALYZE's distinct counts when the input is a base-table
+///    scan, ranges → 1/4, AND → product, OR → inclusion-exclusion);
+///  * equi joins assume key-foreign-key containment (max of the
+///    inputs); other joins fall back to a fixed selectivity over the
+///    cross product;
+///  * grouping uses the group column's distinct count when available,
+///    else the square-root rule.
+///
+/// Estimates are heuristic by design — their purpose is the
+/// estimated-vs-actual comparison in EXPLAIN / EXPLAIN ANALYZE (see
+/// docs/COST_MODEL.md), not plan selection, which happens earlier in
+/// the rewrite layer's derivation cost model.
+void EstimateCardinality(LogicalPlan* plan);
+
+}  // namespace rfv
+
+#endif  // RFVIEW_PLAN_CARDINALITY_H_

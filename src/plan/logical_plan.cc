@@ -122,6 +122,9 @@ std::string LogicalPlan::ToString(int indent) const {
       break;
   }
   os << "  [" << schema.ToString() << "]";
+  if (est_rows >= 0) {
+    os << "  est=" << static_cast<int64_t>(est_rows + 0.5);
+  }
   for (const auto& child : children) {
     os << "\n" << child->ToString(indent + 1);
   }

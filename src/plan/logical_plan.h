@@ -141,7 +141,14 @@ struct LogicalPlan {
   // kLimit
   int64_t limit = -1;
 
+  /// Estimated output rows, filled by EstimateCardinality
+  /// (plan/cardinality.h) after optimization; -1 = not estimated.
+  /// Surfaced by EXPLAIN and carried onto the physical operators for
+  /// the estimated-vs-actual comparison in EXPLAIN ANALYZE.
+  double est_rows = -1;
+
   /// Indented tree rendering for debugging / EXPLAIN-style output.
+  /// Nodes with a cardinality estimate render an `est=N` suffix.
   std::string ToString(int indent = 0) const;
 };
 

@@ -149,4 +149,96 @@ Result<DerivationChoice> ChooseDerivation(
   return best;
 }
 
+std::vector<DerivationChoice> EnumerateDerivations(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query,
+    std::vector<CandidateVerdict>* verdicts) {
+  std::vector<DerivationChoice> out;
+  for (const SequenceViewDef* view : views) {
+    Result<DerivationChoice> choice = CheckDerivability(*view, query);
+    if (!choice.ok()) {
+      if (verdicts != nullptr) {
+        CandidateVerdict v;
+        v.view_name = view->view_name;
+        v.derivable = false;
+        v.detail = "not derivable: " + choice.status().message();
+        verdicts->push_back(std::move(v));
+      }
+      continue;
+    }
+    out.push_back(*choice);
+    // CheckDerivability prefers MaxOA for sliding-from-sliding SUM, but
+    // every MaxOA-eligible pair is also MinOA-eligible (§5 imposes no
+    // window-size precondition) — expose the sibling so cost decides.
+    if (choice->method == DerivationMethod::kMaxoa) {
+      Result<MinoaParams> minoa = PlanMinoa(view->window, query.window);
+      if (minoa.ok()) {
+        DerivationChoice alt;
+        alt.view = view;
+        alt.method = DerivationMethod::kMinoa;
+        alt.minoa = *minoa;
+        out.push_back(alt);
+      }
+    }
+  }
+  return out;
+}
+
+CostEstimate EstimateDerivationCost(const DerivationChoice& choice,
+                                    const SeqQuery& query,
+                                    const PatternStats& stats) {
+  switch (choice.method) {
+    case DerivationMethod::kDirect:
+      return EstimateDirectCost(stats);
+    case DerivationMethod::kCumulativeDiff:
+      return EstimateCumulativeDiffCost(stats);
+    case DerivationMethod::kMaxoa:
+      return EstimateMaxoaCost(choice.view->window, choice.maxoa, stats);
+    case DerivationMethod::kMinoa:
+      return EstimateMinoaCost(choice.view->window, choice.minoa, stats);
+    case DerivationMethod::kMinMaxCover:
+      return EstimateMinMaxCoverCost(stats);
+    case DerivationMethod::kCountTrivial:
+      return EstimateCountTrivialCost(stats);
+  }
+  (void)query;
+  return CostEstimate();
+}
+
+Result<DerivationChoice> ChooseDerivationByCost(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query,
+    const ViewStatsFn& stats_fn, CostEstimate* chosen_cost,
+    std::vector<CandidateVerdict>* verdicts) {
+  if (!stats_fn) return ChooseDerivation(views, query);
+  std::vector<DerivationChoice> alternatives =
+      EnumerateDerivations(views, query, verdicts);
+  if (alternatives.empty()) {
+    return Status::NotDerivable("no candidate view matches the query");
+  }
+  size_t best = 0;
+  size_t best_verdict = 0;
+  CostEstimate best_cost;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    const DerivationChoice& alt = alternatives[i];
+    const CostEstimate cost =
+        EstimateDerivationCost(alt, query, stats_fn(*alt.view));
+    if (verdicts != nullptr) {
+      CandidateVerdict v;
+      v.view_name = alt.view->view_name;
+      v.derivable = true;
+      v.method = alt.method;
+      v.cost = cost;
+      v.detail = cost.Summary();
+      verdicts->push_back(std::move(v));
+    }
+    if (i == 0 || cost.total < best_cost.total) {
+      best = i;
+      best_cost = cost;
+      if (verdicts != nullptr) best_verdict = verdicts->size() - 1;
+    }
+  }
+  if (verdicts != nullptr) (*verdicts)[best_verdict].chosen = true;
+  if (chosen_cost != nullptr) *chosen_cost = best_cost;
+  return alternatives[best];
+}
+
 }  // namespace rfv

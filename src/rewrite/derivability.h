@@ -1,12 +1,15 @@
 #ifndef RFVIEW_REWRITE_DERIVABILITY_H_
 #define RFVIEW_REWRITE_DERIVABILITY_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "sequence/maxoa.h"
 #include "sequence/minoa.h"
+#include "stats/cost_model.h"
 #include "view/view_def.h"
 
 namespace rfv {
@@ -45,11 +48,14 @@ enum class DerivationMethod {
                     ///< trivial (either constant or the current position)")
 };
 
+/// Human-readable method name ("direct", "MaxOA", …) as it appears in
+/// EXPLAIN output, ResultSet::rewrite_method() and metric labels.
 const char* DerivationMethodName(DerivationMethod method);
 
+/// A resolved derivation: which view answers the query and how.
 struct DerivationChoice {
-  const SequenceViewDef* view = nullptr;
-  DerivationMethod method = DerivationMethod::kDirect;
+  const SequenceViewDef* view = nullptr;    ///< winning view (never null)
+  DerivationMethod method = DerivationMethod::kDirect;  ///< how to derive
   MaxoaParams maxoa;  ///< filled for kMaxoa
   MinoaParams minoa;  ///< filled for kMinoa
 };
@@ -62,10 +68,54 @@ struct DerivationChoice {
 Result<DerivationChoice> CheckDerivability(const SequenceViewDef& view,
                                            const SeqQuery& query);
 
-/// Picks the first derivable view in preference order; kNotDerivable
-/// when none qualifies.
+/// Picks the first derivable view in the paper's static preference
+/// order; kNotDerivable when none qualifies. Kept as the stats-free
+/// fallback (and as the documented paper default) — the SQL front end
+/// uses ChooseDerivationByCost below.
 Result<DerivationChoice> ChooseDerivation(
     const std::vector<const SequenceViewDef*>& views, const SeqQuery& query);
+
+/// One candidate (view, method) outcome of a cost-based choice; the
+/// full list is surfaced by EXPLAIN and the rewrite trace.
+struct CandidateVerdict {
+  std::string view_name;
+  bool derivable = false;
+  /// Valid only when derivable.
+  DerivationMethod method = DerivationMethod::kDirect;
+  /// Set when statistics were available to price the alternative.
+  std::optional<CostEstimate> cost;
+  bool chosen = false;
+  /// Cost summary, or the not-derivable reason.
+  std::string detail;
+};
+
+/// Supplies content/base-table statistics for a candidate view.
+using ViewStatsFn = std::function<PatternStats(const SequenceViewDef&)>;
+
+/// Every derivable (view, method) alternative: CheckDerivability's pick
+/// plus the always-applicable MinOA sibling of a MaxOA choice, so the
+/// cost model can arbitrate the paper's §7 trade-off instead of the
+/// static order. Not-derivable views are appended to `verdicts`.
+std::vector<DerivationChoice> EnumerateDerivations(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query,
+    std::vector<CandidateVerdict>* verdicts = nullptr);
+
+/// Prices one derivation choice by mapping its method onto the pattern
+/// estimators in stats/cost_model.h.
+CostEstimate EstimateDerivationCost(const DerivationChoice& choice,
+                                    const SeqQuery& query,
+                                    const PatternStats& stats);
+
+/// Cost-based chooser: minimizes CostEstimate::total over all
+/// alternatives from EnumerateDerivations (ties resolve to the static
+/// preference order, i.e. the earlier alternative). Falls back to
+/// ChooseDerivation when `stats_fn` is empty. `chosen_cost` (optional)
+/// receives the winner's estimate; `verdicts` (optional) the complete
+/// per-alternative record with the winner flagged.
+Result<DerivationChoice> ChooseDerivationByCost(
+    const std::vector<const SequenceViewDef*>& views, const SeqQuery& query,
+    const ViewStatsFn& stats_fn, CostEstimate* chosen_cost = nullptr,
+    std::vector<CandidateVerdict>* verdicts = nullptr);
 
 }  // namespace rfv
 

@@ -18,6 +18,29 @@ void CountRewriteHit(DerivationMethod method) {
   c->Increment();
 }
 
+/// Counts the outcome of a cost-based decision; `method` is a
+/// DerivationMethodName or "no-rewrite".
+void CountCostDecision(const std::string& method) {
+  Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_rewrite_cost_chosen_total", {{"method", method}},
+      "Cost-based derivation decisions by outcome");
+  c->Increment();
+}
+
+void CountCostCandidates(size_t n) {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_rewrite_cost_candidates_total", {},
+      "(view, method) alternatives priced by the derivation cost model");
+  c->Increment(static_cast<int64_t>(n));
+}
+
+void CountStaleStats() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_rewrite_cost_stale_stats_total", {},
+      "Cost-based decisions taken on stale column statistics");
+  c->Increment();
+}
+
 /// Frame → WindowSpec; nullopt for frames outside the paper's sequence
 /// model (e.g. 3 PRECEDING AND 1 PRECEDING).
 std::optional<WindowSpec> FrameToWindowSpec(const WindowSpecAst& over) {
@@ -200,8 +223,25 @@ std::optional<SeqQuery> Rewriter::RecognizeSimpleWindowQuery(
   return query;
 }
 
+PatternStats Rewriter::StatsForView(const SequenceViewDef& view) const {
+  PatternStats stats;
+  stats.body_rows = view.n;
+  stats.indexed = view.indexed;
+  Result<Table*> content = catalog_->GetTable(view.view_name);
+  if (content.ok()) {
+    stats.content_rows = (*content)->stats().row_count;
+    stats.stale = (*content)->stats().AnyStale();
+  } else {
+    stats.content_rows = view.n;
+  }
+  Result<Table*> base = catalog_->GetTable(view.base_table);
+  if (base.ok()) stats.base_rows = (*base)->stats().row_count;
+  return stats;
+}
+
 Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
-    const SelectStmt& stmt, const RewriteOptions& options) const {
+    const SelectStmt& stmt, const RewriteOptions& options,
+    RewriteDecision* decision) const {
   TraceSpan span("rewrite");
   bool wants_order = false;
   const std::optional<SeqQuery> query =
@@ -243,6 +283,13 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
     if (wants_order) result.sql += " ORDER BY 1";
     result.choice.view = witness;
     result.choice.method = DerivationMethod::kCountTrivial;
+    if (options.use_cost_model) {
+      PatternStats stats = StatsForView(*witness);
+      result.cost = EstimateCountTrivialCost(stats);
+    }
+    if (decision != nullptr) {
+      decision->summary = "count-trivial using view " + witness->view_name;
+    }
     CountRewriteHit(result.choice.method);
     if (span.active()) {
       span.AddArg("view", witness->view_name);
@@ -279,6 +326,7 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
   }
 
   DerivationChoice choice;
+  std::optional<CostEstimate> chosen_cost_out;
   if (options.force_method.has_value()) {
     bool found = false;
     for (const SequenceViewDef* view : candidates) {
@@ -327,6 +375,48 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
       if (span.active()) span.AddArg("verdict", "forced method not derivable");
       return std::optional<RewriteResult>();
     }
+  } else if (options.use_cost_model) {
+    // Tentpole path: price every (view, method) alternative against the
+    // live statistics and against recomputing from the base table
+    // (paper §7: neither MaxOA nor MinOA dominates).
+    const ViewStatsFn stats_fn = [this](const SequenceViewDef& v) {
+      return StatsForView(v);
+    };
+    CostEstimate chosen_cost;
+    std::vector<CandidateVerdict> verdicts;
+    Result<DerivationChoice> r = ChooseDerivationByCost(
+        candidates, *query, stats_fn, &chosen_cost, &verdicts);
+    CountCostCandidates(verdicts.size());
+    bool any_stale = false;
+    for (const SequenceViewDef* v : candidates) {
+      any_stale |= StatsForView(*v).stale;
+    }
+    if (any_stale) CountStaleStats();
+    const PatternStats base_stats = StatsForView(*candidates.front());
+    const CostEstimate baseline =
+        EstimateSelfJoinRecomputeCost(query->window, base_stats);
+    if (decision != nullptr) {
+      decision->verdicts = std::move(verdicts);
+      decision->baseline = baseline;
+    }
+    if (!r.ok()) {
+      if (span.active()) span.AddArg("verdict", "no derivable candidate");
+      if (decision != nullptr) decision->summary = "none (no derivable candidate)";
+      return std::optional<RewriteResult>();
+    }
+    if (chosen_cost.total > kRewriteCostBias * baseline.total) {
+      CountCostDecision("no-rewrite");
+      const std::string why =
+          std::string("none (recompute estimated cheaper: baseline ") +
+          baseline.Summary() + " vs best " + chosen_cost.Summary() + ")";
+      if (span.active()) span.AddArg("verdict", why);
+      if (decision != nullptr) decision->summary = why;
+      RFV_LOG(kInfo) << "rewrite declined by cost model: " << why;
+      return std::optional<RewriteResult>();
+    }
+    CountCostDecision(DerivationMethodName(r->method));
+    choice = std::move(*r);
+    chosen_cost_out = chosen_cost;
   } else {
     Result<DerivationChoice> r = ChooseDerivation(candidates, *query);
     if (!r.ok()) {
@@ -389,6 +479,20 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
   RewriteResult result;
   result.sql = std::move(sql);
   result.choice = choice;
+  if (!chosen_cost_out.has_value() && options.use_cost_model) {
+    // Forced-method path: still price the pattern so EXPLAIN can show
+    // the estimate next to the measured rows.
+    chosen_cost_out =
+        EstimateDerivationCost(choice, *query, StatsForView(view));
+  }
+  result.cost = chosen_cost_out;
+  if (decision != nullptr) {
+    decision->summary = std::string(DerivationMethodName(choice.method)) +
+                        " using view " + view.view_name;
+    if (chosen_cost_out.has_value()) {
+      decision->summary += " (est " + chosen_cost_out->Summary() + ")";
+    }
+  }
   CountRewriteHit(choice.method);
   if (span.active()) {
     span.AddArg("view", view.view_name);

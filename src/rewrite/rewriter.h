@@ -21,13 +21,49 @@ enum class RewriteVariant {
 struct RewriteOptions {
   RewriteVariant variant = RewriteVariant::kDisjunctive;
   /// Force a specific derivation method (MaxOA vs. MinOA comparison);
-  /// unset = automatic preference order.
+  /// unset = automatic choice.
   std::optional<DerivationMethod> force_method;
+  /// Automatic choice drives ChooseDerivationByCost over live table
+  /// statistics, including the no-rewrite comparison below; off =
+  /// the paper's static preference order, always rewriting.
+  bool use_cost_model = true;
 };
+
+/// The cost model keeps the view rewrite unless recompute is estimated
+/// cheaper by more than this factor. The margin is deliberately wide:
+/// in this engine both the derivation patterns and the Fig. 2 recompute
+/// baseline run as quadratic nested-loop self joins, and the
+/// congruence-branch disjunction carries a structural ~2–2.5× predicate
+/// overhead at *any* scale while delivering its payoff in tuple fan-in
+/// that the unit model undercounts (the view rows are pre-aggregated
+/// windows). The gate therefore only declines when chain fan-out — not
+/// that structural floor — dominates: degenerate narrow-stride
+/// derivations (w_x → 2) drag ~n/2 view tuples per output row through
+/// the aggregation and estimate at ≳3.9× baseline, while every healthy
+/// configuration sits at ≲2.5×. See docs/COST_MODEL.md §"No-rewrite
+/// decision".
+inline constexpr double kRewriteCostBias = 3.0;
 
 struct RewriteResult {
   std::string sql;  ///< rewritten query over the view's content table
   DerivationChoice choice;
+  /// Estimated cost of the chosen pattern (set when the cost model ran).
+  std::optional<CostEstimate> cost;
+};
+
+/// Why/how the rewriter decided — captured even when the answer is "no
+/// rewrite", so plain EXPLAIN can print the per-candidate verdicts
+/// without tracing enabled.
+struct RewriteDecision {
+  /// One entry per (view, method) alternative, plus not-derivable views.
+  std::vector<CandidateVerdict> verdicts;
+  /// Estimated cost of recomputing from the base table (Fig. 2 pattern);
+  /// set when the cost model ran.
+  std::optional<CostEstimate> baseline;
+  /// Human-readable outcome, e.g. "MinOA using view v" or
+  /// "none (recompute estimated cheaper: ...)". Empty when the statement
+  /// was not a recognizable window query.
+  std::string summary;
 };
 
 /// The view-rewriting front end (paper §1: "the given operator patterns
@@ -42,10 +78,13 @@ class Rewriter {
       : catalog_(catalog), views_(views) {}
 
   /// Attempts the rewrite. Returns nullopt (not an error) when the
-  /// statement is not a recognizable simple window query or no
-  /// registered view can answer it.
+  /// statement is not a recognizable simple window query, no registered
+  /// view can answer it, or the cost model prefers recomputing from the
+  /// base table. `decision` (optional) receives the candidate verdicts
+  /// and cost estimates either way.
   Result<std::optional<RewriteResult>> TryRewrite(
-      const SelectStmt& stmt, const RewriteOptions& options = {}) const;
+      const SelectStmt& stmt, const RewriteOptions& options = {},
+      RewriteDecision* decision = nullptr) const;
 
   /// Parses `SELECT <pos>, agg(<val>) OVER (ORDER BY <pos> ROWS ...)
   /// FROM <base> [ORDER BY <pos>]` into a SeqQuery. nullopt when the
@@ -55,6 +94,10 @@ class Rewriter {
       const SelectStmt& stmt, bool* wants_order);
 
  private:
+  /// Harvests PatternStats for a candidate view from the live table
+  /// statistics (content row count, base row count, staleness).
+  PatternStats StatsForView(const SequenceViewDef& view) const;
+
   Catalog* catalog_;
   ViewManager* views_;
 };

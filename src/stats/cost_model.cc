@@ -1,0 +1,172 @@
+#include "stats/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rfv {
+
+namespace {
+
+/// Continuous approximation of a telescoping-chain length: how many
+/// stride-w steps fit into `reach` positions before the chain walks off
+/// the header/trailer of the complete sequence. Clamped at 0.
+double ChainLen(double reach, double w) {
+  if (w <= 0 || reach <= 0) return 0;
+  return reach / w;
+}
+
+CostEstimate Finish(CostEstimate est) {
+  est.total = est.rows_read + est.pred_evals + kTupleWeight * est.tuples +
+              est.output_rows;
+  return est;
+}
+
+}  // namespace
+
+std::string CostEstimate::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.0f read=%.0f pred=%.0f tuples=%.0f out=%.0f", total,
+                rows_read, pred_evals, tuples, output_rows);
+  return buf;
+}
+
+CostEstimate EstimateDirectCost(const PatternStats& stats) {
+  CostEstimate est;
+  const double m = static_cast<double>(stats.content_rows);
+  const double n = static_cast<double>(stats.body_rows);
+  est.rows_read = m;
+  est.pred_evals = m;  // body-range filter over the content scan
+  est.tuples = 0;
+  est.output_rows = n;
+  return Finish(est);
+}
+
+CostEstimate EstimateCumulativeDiffCost(const PatternStats& stats) {
+  CostEstimate est;
+  const double m = static_cast<double>(stats.content_rows);
+  const double n = static_cast<double>(stats.body_rows);
+  est.rows_read = n + m;
+  // Nested-loop self join; the probe predicate tests the two positions
+  // k+h and k-l-1 per pair (Fig. 5).
+  est.pred_evals = n * m * 2;
+  est.tuples = 2 * n;
+  est.output_rows = n;
+  return Finish(est);
+}
+
+CostEstimate EstimateMaxoaCost(const WindowSpec& view_window,
+                               const MaxoaParams& params,
+                               const PatternStats& stats) {
+  CostEstimate est;
+  const double m = static_cast<double>(stats.content_rows);
+  const double n = static_cast<double>(stats.body_rows);
+  const double w = static_cast<double>(view_window.size());
+  const double hx = static_cast<double>(view_window.h());
+  const double lx = static_cast<double>(view_window.l());
+  const double dl = static_cast<double>(params.delta_l);
+  const double dh = static_cast<double>(params.delta_h);
+  const double k = (n + 1) / 2;  // average output position
+
+  // Fig. 10 fan-out per output position: the base term plus, per active
+  // side, two stride-w chains (positive and compensation) bounded by the
+  // header on the low side and the trailer on the high side. Both
+  // strides are Δl+Δp = Δh+Δq = w_x.
+  double terms = 1;
+  double branches = 1;
+  if (params.delta_l > 0) {
+    terms += ChainLen(k + hx - 1, w) + ChainLen(k - dl + hx - 1, w);
+    branches += 2;
+  }
+  if (params.delta_h > 0) {
+    terms += ChainLen(n + lx - k, w) + ChainLen(n + lx - k - dh, w);
+    branches += 2;
+  }
+
+  est.rows_read = n + m;
+  // The congruence (MOD) branch predicates defeat index/hash joins, so
+  // the engine runs a nested loop over all n·m pairs, testing every
+  // branch of the disjunction.
+  est.pred_evals = n * m * branches;
+  est.tuples = n * terms;
+  est.output_rows = n;
+  return Finish(est);
+}
+
+CostEstimate EstimateMinoaCost(const WindowSpec& view_window,
+                               const MinoaParams& params,
+                               const PatternStats& stats) {
+  CostEstimate est;
+  const double m = static_cast<double>(stats.content_rows);
+  const double n = static_cast<double>(stats.body_rows);
+  const double w = static_cast<double>(params.wx);
+  const double hx = static_cast<double>(view_window.h());
+  const double dl = static_cast<double>(params.delta_l);
+  const double dh = static_cast<double>(params.delta_h);
+  const double k = (n + 1) / 2;
+
+  const int64_t span = params.delta_l + params.delta_h;
+  const bool coincident = params.wx > 0 && span >= 0 && span % params.wx == 0;
+
+  double terms = 0;
+  double branches = 0;
+  if (coincident) {
+    // Both chains live in one congruence class and telescope to a
+    // bounded window of (Δl+Δh)/w_x + 1 view values (Fig. 13's best
+    // case — a single BETWEEN branch).
+    terms = static_cast<double>(span) / w + 1;
+    branches = 1;
+  } else {
+    // Positive chain tiles down from k+Δh, negative from k-Δl-w; both
+    // stop at the header position 1-h_x.
+    terms = ChainLen(k + dh + hx - 1, w) + 1 + ChainLen(k - dl + hx - 1, w);
+    branches = 2;
+  }
+
+  est.rows_read = n + m;
+  est.pred_evals = n * m * branches;
+  est.tuples = n * terms;
+  est.output_rows = n;
+  return Finish(est);
+}
+
+CostEstimate EstimateMinMaxCoverCost(const PatternStats& stats) {
+  CostEstimate est;
+  const double m = static_cast<double>(stats.content_rows);
+  const double n = static_cast<double>(stats.body_rows);
+  est.rows_read = n + 2 * m;
+  // Two equi self joins on shifted positions — index- or hash-joinable,
+  // so the pair cost is linear, not quadratic.
+  const double per_join = stats.indexed ? n + m : 2 * (n + m);
+  est.pred_evals = 2 * per_join;
+  est.tuples = 2 * n;
+  est.output_rows = n;
+  return Finish(est);
+}
+
+CostEstimate EstimateCountTrivialCost(const PatternStats& stats) {
+  CostEstimate est;
+  const double b = static_cast<double>(stats.base_rows);
+  est.rows_read = b;
+  est.pred_evals = b;
+  est.tuples = 0;
+  est.output_rows = static_cast<double>(stats.body_rows);
+  return Finish(est);
+}
+
+CostEstimate EstimateSelfJoinRecomputeCost(const WindowSpec& query_window,
+                                           const PatternStats& stats) {
+  CostEstimate est;
+  const double b = static_cast<double>(stats.base_rows);
+  const double w = query_window.is_cumulative()
+                       ? (b + 1) / 2  // BETWEEN 1 AND k: half the pairs match
+                       : static_cast<double>(query_window.size());
+  est.rows_read = 2 * b;
+  // Fig. 2: self join on a position-range predicate, one branch.
+  est.pred_evals = b * b;
+  est.tuples = b * std::min(w, b);
+  est.output_rows = b;
+  return Finish(est);
+}
+
+}  // namespace rfv

@@ -1,0 +1,157 @@
+#include "stats/table_stats.h"
+
+#include <set>
+#include <sstream>
+
+namespace rfv {
+
+namespace {
+
+bool NumericValue(const Value& v, double* out) {
+  if (v.is_null()) return false;
+  if (v.type() == DataType::kInt64) {
+    *out = static_cast<double>(v.AsInt());
+    return true;
+  }
+  if (v.type() == DataType::kDouble) {
+    *out = v.AsDouble();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void TableStats::EnsureColumns(const Schema& schema) {
+  if (columns.size() != schema.NumColumns()) {
+    columns.assign(schema.NumColumns(), ColumnStats());
+  }
+}
+
+void TableStats::InsertRow(const Schema& schema, const Row& row) {
+  EnsureColumns(schema);
+  ++row_count;
+  ++dml_since_analyze;
+  for (size_t c = 0; c < columns.size() && c < row.size(); ++c) {
+    ColumnStats& stats = columns[c];
+    const Value& v = row[c];
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    ++stats.non_null_count;
+    // A new value can only widen the range, so the bounds stay tight
+    // with respect to insert-only workloads; distinct counts cannot be
+    // maintained without a full pass, so they go stale.
+    double num = 0;
+    if (NumericValue(v, &num)) {
+      if (!stats.has_range) {
+        stats.has_range = true;
+        stats.min_value = num;
+        stats.max_value = num;
+      } else {
+        if (num < stats.min_value) stats.min_value = num;
+        if (num > stats.max_value) stats.max_value = num;
+      }
+    }
+    if (stats.distinct_count >= 0) stats.stale = true;
+  }
+}
+
+void TableStats::RemoveRow(const Schema& schema, const Row& row) {
+  EnsureColumns(schema);
+  --row_count;
+  ++dml_since_analyze;
+  for (size_t c = 0; c < columns.size() && c < row.size(); ++c) {
+    ColumnStats& stats = columns[c];
+    const Value& v = row[c];
+    if (v.is_null()) {
+      --stats.null_count;
+      continue;
+    }
+    --stats.non_null_count;
+    // Removing a boundary value cannot shrink the stored range without a
+    // rescan — keep the over-approximation and flag it.
+    double num = 0;
+    if (NumericValue(v, &num) && stats.has_range &&
+        (num <= stats.min_value || num >= stats.max_value)) {
+      stats.stale = true;
+    }
+    if (stats.distinct_count >= 0) stats.stale = true;
+  }
+}
+
+void TableStats::ReplaceRow(const Schema& schema, const Row& before,
+                            const Row& after) {
+  // Model as delete + insert, then fold the two DML ticks into one.
+  RemoveRow(schema, before);
+  InsertRow(schema, after);
+  --dml_since_analyze;
+}
+
+void TableStats::Clear() {
+  row_count = 0;
+  dml_since_analyze = 0;
+  for (ColumnStats& stats : columns) stats = ColumnStats();
+}
+
+void TableStats::Analyze(const Schema& schema, const std::vector<Row>& rows) {
+  columns.assign(schema.NumColumns(), ColumnStats());
+  row_count = static_cast<int64_t>(rows.size());
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    ColumnStats& stats = columns[c];
+    std::set<Value> distinct;
+    for (const Row& row : rows) {
+      if (c >= row.size()) continue;
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++stats.null_count;
+        continue;
+      }
+      ++stats.non_null_count;
+      distinct.insert(v);
+      double num = 0;
+      if (NumericValue(v, &num)) {
+        if (!stats.has_range) {
+          stats.has_range = true;
+          stats.min_value = num;
+          stats.max_value = num;
+        } else {
+          if (num < stats.min_value) stats.min_value = num;
+          if (num > stats.max_value) stats.max_value = num;
+        }
+      }
+    }
+    stats.distinct_count = static_cast<int64_t>(distinct.size());
+    stats.stale = false;
+  }
+  ++analyze_count;
+  dml_since_analyze = 0;
+}
+
+bool TableStats::AnyStale() const {
+  for (const ColumnStats& stats : columns) {
+    if (stats.stale) return true;
+  }
+  return false;
+}
+
+std::string TableStats::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "rows=" << row_count << " analyzed=" << analyze_count
+     << " dml_since_analyze=" << dml_since_analyze << "\n";
+  for (size_t c = 0; c < columns.size() && c < schema.NumColumns(); ++c) {
+    const ColumnStats& stats = columns[c];
+    os << "  " << schema.column(c).name << ": non_null="
+       << stats.non_null_count << " nulls=" << stats.null_count;
+    if (stats.has_range) {
+      os << " min=" << stats.min_value << " max=" << stats.max_value;
+    }
+    if (stats.distinct_count >= 0) os << " distinct=" << stats.distinct_count;
+    if (stats.stale) os << " (stale)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rfv

@@ -1,0 +1,101 @@
+#ifndef RFVIEW_STATS_TABLE_STATS_H_
+#define RFVIEW_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace rfv {
+
+/// Statistics of one column, feeding the derivation cost model
+/// (stats/cost_model.h) and the plan cardinality estimator
+/// (plan/cardinality.h).
+///
+/// Maintenance discipline (see TableStats): counts are exact at all
+/// times; min/max are *widen-only* between ANALYZE runs (an INSERT can
+/// grow the range immediately, but a DELETE/UPDATE that removes a
+/// boundary value only marks the range stale — the stored bounds remain
+/// a valid over-approximation); distinct_count is exact as of the last
+/// ANALYZE and goes stale under DML.
+struct ColumnStats {
+  /// Rows whose value in this column is non-NULL. Exact.
+  int64_t non_null_count = 0;
+  /// Rows whose value is NULL. Exact (non_null + null == row_count).
+  int64_t null_count = 0;
+
+  /// Whether min_value/max_value hold a numeric range. False until the
+  /// first non-NULL numeric value is seen (string columns never set it).
+  bool has_range = false;
+  /// Smallest / largest numeric value observed (ints widened to double).
+  double min_value = 0;
+  double max_value = 0;
+
+  /// Number of distinct non-NULL values as of the last full ANALYZE;
+  /// -1 when never analyzed. Used for partition-key cardinalities and
+  /// equality selectivities.
+  int64_t distinct_count = -1;
+
+  /// True when min/max/distinct may overestimate the live data (a
+  /// DELETE/UPDATE removed rows since the last ANALYZE). Counts stay
+  /// exact regardless.
+  bool stale = false;
+
+  /// Width of the numeric range, max - min + 1 — for a dense sequence
+  /// column this equals the sequence length n. 0 without a range.
+  double RangeWidth() const {
+    return has_range ? max_value - min_value + 1 : 0;
+  }
+};
+
+/// Per-table statistics. Row count is maintained exactly and
+/// incrementally by the storage layer on every DML; per-column detail
+/// follows the widen-only discipline described on ColumnStats and is
+/// made exact again by Analyze() (the SQL `ANALYZE [table]` statement,
+/// also invoked by view materialization/refresh so view content tables
+/// always carry exact statistics).
+struct TableStats {
+  /// Live rows. Exact at all times (incremental, verified by
+  /// tests/stats/table_stats_test.cc under INSERT/UPDATE/DELETE).
+  int64_t row_count = 0;
+
+  /// One entry per schema column, parallel to Schema::column(i).
+  std::vector<ColumnStats> columns;
+
+  /// Number of full ANALYZE passes performed over this table.
+  int64_t analyze_count = 0;
+  /// DML statements applied since the last ANALYZE (0 right after one);
+  /// a freshness signal for the cost model and for `\stats` style
+  /// introspection.
+  int64_t dml_since_analyze = 0;
+
+  /// Ensures `columns` matches the schema width (idempotent).
+  void EnsureColumns(const Schema& schema);
+
+  /// Incremental hooks, called by storage/table.cc on each mutation.
+  /// InsertRow widens ranges and bumps counts; RemoveRow / ReplaceRow
+  /// decrement counts and mark touched columns stale when a boundary
+  /// value may have disappeared.
+  void InsertRow(const Schema& schema, const Row& row);
+  void RemoveRow(const Schema& schema, const Row& row);
+  void ReplaceRow(const Schema& schema, const Row& before, const Row& after);
+
+  /// Resets everything to the empty-table state (TRUNCATE).
+  void Clear();
+
+  /// Full recomputation from the live rows: exact counts, tight min/max,
+  /// exact distinct counts; clears staleness. O(rows · columns).
+  void Analyze(const Schema& schema, const std::vector<Row>& rows);
+
+  /// True when any column's fine-grained stats are stale.
+  bool AnyStale() const;
+
+  /// One-line-per-column debug rendering (shell `\stats`, tests).
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_STATS_TABLE_STATS_H_

@@ -41,6 +41,7 @@ Status Table::Insert(Row row) {
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
   const size_t row_id = rows_.size();
   rows_.push_back(std::move(row));
+  stats_.InsertRow(schema_, rows_.back());
   for (auto& index : indexes_) {
     if (!index->dirty()) {
       index->Insert(rows_.back()[index->column()], row_id);
@@ -56,6 +57,7 @@ Status Table::InsertBatch(std::vector<Row> rows) {
   rows_.reserve(rows_.size() + rows.size());
   for (Row& row : rows) {
     rows_.push_back(std::move(row));
+    stats_.InsertRow(schema_, rows_.back());
   }
   MarkIndexesDirty();
   return Status::OK();
@@ -66,6 +68,7 @@ Status Table::UpdateRow(size_t row_id, Row row) {
     return Status::InvalidArgument("row id out of range");
   }
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  stats_.ReplaceRow(schema_, rows_[row_id], row);
   rows_[row_id] = std::move(row);
   MarkIndexesDirty();
   return Status::OK();
@@ -81,6 +84,7 @@ Status Table::UpdateCell(size_t row_id, size_t column, Value value) {
   Row updated = rows_[row_id];
   updated[column] = std::move(value);
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&updated));
+  stats_.ReplaceRow(schema_, rows_[row_id], updated);
   rows_[row_id] = std::move(updated);
   // Only indexes keyed on the changed column go stale — the paper's
   // incremental view maintenance updates `val` cells through `pos`
@@ -95,6 +99,7 @@ Status Table::DeleteRow(size_t row_id) {
   if (row_id >= rows_.size()) {
     return Status::InvalidArgument("row id out of range");
   }
+  stats_.RemoveRow(schema_, rows_[row_id]);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(row_id));
   MarkIndexesDirty();
   return Status::OK();
@@ -102,6 +107,7 @@ Status Table::DeleteRow(size_t row_id) {
 
 void Table::Truncate() {
   rows_.clear();
+  stats_.Clear();
   MarkIndexesDirty();
 }
 

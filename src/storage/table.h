@@ -8,6 +8,7 @@
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "stats/table_stats.h"
 #include "storage/index.h"
 
 namespace rfv {
@@ -71,6 +72,15 @@ class Table {
     return indexes_;
   }
 
+  /// Statistics maintained incrementally by every DML path above (row
+  /// count stays exact; see TableStats for the widen-only discipline).
+  const TableStats& stats() const { return stats_; }
+
+  /// Full statistics recomputation — the `ANALYZE` statement. Also run
+  /// by the view layer after materialize/refresh so view content tables
+  /// always carry exact distinct counts and tight ranges.
+  void Analyze() { stats_.Analyze(schema_, rows_); }
+
  private:
   /// Validates a row against the schema and coerces int→double where the
   /// column is kDouble.
@@ -82,6 +92,7 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+  TableStats stats_;
 };
 
 }  // namespace rfv

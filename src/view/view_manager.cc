@@ -109,6 +109,10 @@ Status ViewManager::Materialize(const SequenceViewDef& def, Table* content,
     }
   }
   RFV_RETURN_IF_ERROR(content->InsertBatch(std::move(rows)));
+  // A freshly materialized content table is the cost model's main input;
+  // make its statistics exact (distinct partition keys, tight pos/val
+  // ranges) instead of waiting for an explicit ANALYZE.
+  content->Analyze();
   *n_out = max_n;
   return Status::OK();
 }

@@ -180,7 +180,23 @@ TEST_F(RewriterEndToEnd, DirectHit) {
   EXPECT_TRUE(RowsEqual(rs, Reference(sql)));
 }
 
-TEST_F(RewriterEndToEnd, MaxoaAutomaticChoice) {
+TEST_F(RewriterEndToEnd, CostModelPrefersMinoaOverMaxoa) {
+  // The static order picks MaxOA for a widened window, but the cost
+  // model arbitrates the paper's §7 trade-off: MaxOA's disjunction has
+  // 3 congruence branches here against MinOA's 2, so the nested-loop
+  // pattern join is priced lower for MinOA.
+  const std::string sql =
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+      "AND 1 FOLLOWING) FROM seq ORDER BY pos";
+  const ResultSet rs = MustExecute(db_, sql);
+  EXPECT_EQ(rs.rewrite_method(), "MinOA");
+  EXPECT_TRUE(RowsEqual(rs, Reference(sql)));
+}
+
+TEST_F(RewriterEndToEnd, StaticOrderPicksMaxoa) {
+  // With the cost model off, the paper's static preference order
+  // applies: direct > cumulative-diff > MaxOA > MinOA.
+  db_.options().use_cost_model = false;
   const std::string sql =
       "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
       "AND 1 FOLLOWING) FROM seq ORDER BY pos";

@@ -1,0 +1,175 @@
+#include "stats/table_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::CreateSeqTable;
+using testutil::MustExecute;
+
+const TableStats& StatsOf(Database& db, const std::string& table) {
+  Result<Table*> t = db.catalog()->GetTable(table);
+  EXPECT_TRUE(t.ok()) << table;
+  return (*t)->stats();
+}
+
+TEST(TableStatsTest, RowCountExactUnderDml) {
+  Database db;
+  CreateSeqTable(db, 10);
+  EXPECT_EQ(StatsOf(db, "seq").row_count, 10);
+
+  MustExecute(db, "INSERT INTO seq VALUES (11, 1), (12, 2)");
+  EXPECT_EQ(StatsOf(db, "seq").row_count, 12);
+
+  MustExecute(db, "DELETE FROM seq WHERE pos > 10");
+  EXPECT_EQ(StatsOf(db, "seq").row_count, 10);
+
+  // UPDATE replaces rows in place: the count must not move.
+  MustExecute(db, "UPDATE seq SET val = val + 1 WHERE pos <= 5");
+  EXPECT_EQ(StatsOf(db, "seq").row_count, 10);
+
+  MustExecute(db, "DELETE FROM seq");
+  EXPECT_EQ(StatsOf(db, "seq").row_count, 0);
+}
+
+TEST(TableStatsTest, InsertWidensRangeImmediately) {
+  Database db;
+  MustExecute(db, "CREATE TABLE t (pos INTEGER PRIMARY KEY, val DOUBLE)");
+  MustExecute(db, "INSERT INTO t VALUES (5, 1.5), (7, -2.0)");
+  const ColumnStats& pos = StatsOf(db, "t").columns[0];
+  ASSERT_TRUE(pos.has_range);
+  EXPECT_EQ(pos.min_value, 5);
+  EXPECT_EQ(pos.max_value, 7);
+  EXPECT_FALSE(pos.stale);
+
+  MustExecute(db, "INSERT INTO t VALUES (1, 9.0)");
+  EXPECT_EQ(StatsOf(db, "t").columns[0].min_value, 1);
+  EXPECT_EQ(StatsOf(db, "t").columns[0].max_value, 7);
+  EXPECT_EQ(StatsOf(db, "t").columns[0].RangeWidth(), 7);
+}
+
+TEST(TableStatsTest, DeleteOfBoundaryMarksStaleInteriorDoesNot) {
+  Database db;
+  CreateSeqTable(db, 10);
+  // Interior delete: the [1, 10] pos range survives exactly.
+  MustExecute(db, "DELETE FROM seq WHERE pos = 5");
+  EXPECT_FALSE(StatsOf(db, "seq").columns[0].stale);
+  EXPECT_EQ(StatsOf(db, "seq").columns[0].max_value, 10);
+
+  // Boundary delete: the stored max (10) now over-approximates.
+  MustExecute(db, "DELETE FROM seq WHERE pos = 10");
+  EXPECT_TRUE(StatsOf(db, "seq").columns[0].stale);
+  EXPECT_TRUE(StatsOf(db, "seq").AnyStale());
+  // Widen-only: the stored bounds remain a valid over-approximation.
+  EXPECT_EQ(StatsOf(db, "seq").columns[0].max_value, 10);
+}
+
+TEST(TableStatsTest, AnalyzeRestoresExactness) {
+  Database db;
+  CreateSeqTable(db, 10);
+  MustExecute(db, "DELETE FROM seq WHERE pos >= 9");
+  ASSERT_TRUE(StatsOf(db, "seq").AnyStale());
+  EXPECT_EQ(StatsOf(db, "seq").columns[0].distinct_count, -1);
+
+  const ResultSet rs = MustExecute(db, "ANALYZE seq");
+  EXPECT_EQ(rs.affected(), 1);
+
+  const TableStats& stats = StatsOf(db, "seq");
+  EXPECT_FALSE(stats.AnyStale());
+  EXPECT_EQ(stats.columns[0].distinct_count, 8);
+  EXPECT_EQ(stats.columns[0].max_value, 8);
+  EXPECT_EQ(stats.analyze_count, 1);
+  EXPECT_EQ(stats.dml_since_analyze, 0);
+}
+
+TEST(TableStatsTest, AnalyzeAllCoversEveryCatalogTable) {
+  Database db;
+  CreateSeqTable(db, 5, "a");
+  CreateSeqTable(db, 5, "b");
+  const ResultSet rs = MustExecute(db, "ANALYZE");
+  EXPECT_EQ(rs.affected(), 2);
+  EXPECT_EQ(StatsOf(db, "a").columns[1].distinct_count, 5);
+  EXPECT_EQ(StatsOf(db, "b").analyze_count, 1);
+}
+
+TEST(TableStatsTest, AnalyzeUnknownTableErrors) {
+  Database db;
+  EXPECT_FALSE(db.Execute("ANALYZE nope").ok());
+}
+
+TEST(TableStatsTest, ExplainAnalyzeStillParsesAsExplain) {
+  // The ANALYZE keyword must not swallow EXPLAIN ANALYZE SELECT.
+  Database db;
+  CreateSeqTable(db, 5);
+  const ResultSet rs = MustExecute(db, "EXPLAIN ANALYZE SELECT * FROM seq");
+  ASSERT_GT(rs.NumRows(), 0u);
+  EXPECT_NE(rs.at(0, 0).AsString().find("EXPLAIN ANALYZE"),
+            std::string::npos);
+}
+
+TEST(TableStatsTest, NullsCountedSeparately) {
+  Database db;
+  MustExecute(db, "CREATE TABLE t (pos INTEGER PRIMARY KEY, val DOUBLE)");
+  MustExecute(db, "INSERT INTO t VALUES (1, 1.0), (2, NULL), (3, NULL)");
+  const ColumnStats& val = StatsOf(db, "t").columns[1];
+  EXPECT_EQ(val.non_null_count, 1);
+  EXPECT_EQ(val.null_count, 2);
+}
+
+TEST(TableStatsTest, TruncateClears) {
+  Database db;
+  CreateSeqTable(db, 5);
+  Result<Table*> t = db.catalog()->GetTable("seq");
+  ASSERT_TRUE(t.ok());
+  (*t)->Truncate();
+  EXPECT_EQ((*t)->stats().row_count, 0);
+  EXPECT_FALSE((*t)->stats().columns.empty()
+                   ? false
+                   : (*t)->stats().columns[0].has_range);
+}
+
+TEST(TableStatsTest, ViewContentAnalyzedOnMaterializeAndRefresh) {
+  Database db;
+  CreateSeqTable(db, 20);
+  MustExecute(db,
+              "CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER "
+              "(ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) "
+              "FROM seq");
+  {
+    const TableStats& stats = StatsOf(db, "v");
+    // Content = 20 body + 2 header + 1 trailer rows, analyzed on
+    // materialization so the cost model reads exact distinct counts.
+    EXPECT_EQ(stats.row_count, 23);
+    EXPECT_EQ(stats.columns[0].distinct_count, 23);
+    EXPECT_FALSE(stats.AnyStale());
+    EXPECT_GE(stats.analyze_count, 1);
+  }
+
+  MustExecute(db, "INSERT INTO seq VALUES (21, 3), (22, 4)");
+  ASSERT_TRUE(db.view_manager()->RefreshView("v").ok());
+  {
+    const TableStats& stats = StatsOf(db, "v");
+    EXPECT_EQ(stats.row_count, 25);
+    EXPECT_EQ(stats.columns[0].distinct_count, 25);
+    EXPECT_FALSE(stats.AnyStale());
+  }
+}
+
+TEST(TableStatsTest, ToStringMentionsColumns) {
+  Database db;
+  CreateSeqTable(db, 3);
+  MustExecute(db, "ANALYZE seq");
+  Result<Table*> t = db.catalog()->GetTable("seq");
+  ASSERT_TRUE(t.ok());
+  const std::string text =
+      (*t)->stats().ToString((*t)->schema());
+  EXPECT_NE(text.find("pos"), std::string::npos);
+  EXPECT_NE(text.find("val"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfv
