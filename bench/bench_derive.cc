@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "json_reporter.h"
 #include "sequence/compute.h"
 #include "sequence/maxoa.h"
 #include "sequence/minoa.h"
@@ -185,6 +186,7 @@ void RunSqlSweep(benchmark::State& state, int method) {
     benchmark::DoNotOptimize(rs->NumRows());
   }
   state.SetLabel(chosen);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 
 void BM_SqlDerive_CostModel(benchmark::State& state) {
@@ -208,5 +210,60 @@ BENCHMARK(BM_SqlDerive_ForcedMinoa)->Arg(0)->Arg(1)->Arg(2)
 BENCHMARK(BM_SqlDerive_NativeRecompute)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Ablation A8 — executor strategy on the same rewritten plan: the
+// cost-chosen derivation of each sweep config executed (a) row-at-a-
+// time with the merge band join disabled (the index-nested-loop path),
+// (b) batched with the band join disabled, (c) batched with
+// MergeBandJoinOp. Args: (config index, rows).
+// ---------------------------------------------------------------------
+
+/// exec_mode: 0 = row + no band, 1 = batch + no band, 2 = batch + band.
+void RunSqlExecMode(benchmark::State& state, int exec_mode) {
+  const SqlSweepConfig& config =
+      kSweepConfigs[static_cast<size_t>(state.range(0))];
+  const int64_t n = state.range(1);
+  std::unique_ptr<Database> db = MakeSweepDb(config, n);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->options().exec.use_batch_execution = exec_mode > 0;
+  db->options().exec.enable_merge_band_join = exec_mode > 1;
+  const std::string sql = SweepQuery(config);
+  std::string chosen = "native";
+  for (auto _ : state) {
+    Result<ResultSet> rs = db->Execute(sql);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      return;
+    }
+    if (!rs->rewrite_method().empty()) chosen = rs->rewrite_method();
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetLabel(chosen);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SqlExec_RowNoBand(benchmark::State& state) {
+  RunSqlExecMode(state, 0);
+}
+void BM_SqlExec_BatchNoBand(benchmark::State& state) {
+  RunSqlExecMode(state, 1);
+}
+void BM_SqlExec_BatchBand(benchmark::State& state) {
+  RunSqlExecMode(state, 2);
+}
+#define EXEC_MODE_ARGS \
+  Args({0, 500})->Args({0, 2000})->Args({1, 2000})->Args({2, 2000})
+BENCHMARK(BM_SqlExec_RowNoBand)->EXEC_MODE_ARGS
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqlExec_BatchNoBand)->EXEC_MODE_ARGS
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqlExec_BatchBand)->EXEC_MODE_ARGS
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace rfv
+
+BENCH_MAIN_WITH_JSON()

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_reporter.h"
 #include "workload.h"
 
 namespace rfv {
@@ -26,6 +27,7 @@ void RunJoin(benchmark::State& state, bool hash, bool smj, bool inlj) {
     const ResultSet rs = MustExecute(&db, kEquiJoin);
     benchmark::DoNotOptimize(rs.NumRows());
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 void BM_Join_NestedLoop(benchmark::State& state) {
@@ -54,6 +56,48 @@ BENCHMARK(BM_Join_IndexNestedLoop)
     ->Arg(1000)->Arg(4000)->Arg(16000)
     ->Unit(benchmark::kMillisecond);
 
+// Band self join — the shape every Fig. 2/10/13 rewrite emits. The
+// merge band join sorts once and walks a monotone cursor (O(n +
+// matches)); the index nested loop re-probes the hull per left row;
+// the nested loop sweeps all pairs.
+constexpr const char* kBandJoin =
+    "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM seq s1, seq s2 WHERE "
+    "s2.pos >= s1.pos - 8 AND s2.pos <= s1.pos + 8 GROUP BY s1.pos";
+
+void RunBandJoin(benchmark::State& state, bool band, bool inlj) {
+  Database db;
+  BuildSeqTable(&db, state.range(0), /*with_index=*/inlj);
+  db.options().exec.enable_merge_band_join = band;
+  db.options().exec.enable_index_nested_loop_join = inlj;
+  for (auto _ : state) {
+    const ResultSet rs = MustExecute(&db, kBandJoin);
+    benchmark::DoNotOptimize(rs.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BandJoin_NestedLoop(benchmark::State& state) {
+  RunBandJoin(state, false, false);
+}
+void BM_BandJoin_IndexNestedLoop(benchmark::State& state) {
+  RunBandJoin(state, false, true);
+}
+void BM_BandJoin_Merge(benchmark::State& state) {
+  RunBandJoin(state, true, false);
+}
+
+BENCHMARK(BM_BandJoin_NestedLoop)
+    ->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_BandJoin_IndexNestedLoop)
+    ->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BandJoin_Merge)
+    ->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bench
 }  // namespace rfv
+
+BENCH_MAIN_WITH_JSON()

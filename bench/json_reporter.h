@@ -1,0 +1,125 @@
+#ifndef RFVIEW_BENCH_JSON_REPORTER_H_
+#define RFVIEW_BENCH_JSON_REPORTER_H_
+
+// --json_out=<path> support for the benchmark binaries whose numbers CI
+// archives (BENCH_joins.json / BENCH_derive.json). Google Benchmark's
+// own --benchmark_out emits its full context-heavy format; the CI
+// artifact wants a small stable schema — one record per measured run
+// with name, iters, ns/op and rows/s — that the EXPERIMENTS.md tables
+// and the bench-smoke job consume directly.
+//
+// Use BENCH_MAIN_WITH_JSON() instead of linking benchmark_main; the
+// binary then accepts --json_out=FILE alongside the standard
+// --benchmark_* flags. rows/s is taken from the items-per-second rate
+// (benchmarks that call state.SetItemsProcessed) and reported as 0 for
+// benchmarks without a row notion.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rfv {
+namespace benchjson {
+
+struct BenchRecord {
+  std::string name;
+  int64_t iters = 0;
+  double ns_per_op = 0;
+  double rows_per_sec = 0;
+};
+
+/// Prints the normal console table and collects one BenchRecord per
+/// measured (non-aggregate, non-errored) run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iters = static_cast<int64_t>(run.iterations);
+      if (run.iterations > 0) {
+        rec.ns_per_op = run.real_accumulated_time * 1e9 /
+                        static_cast<double>(run.iterations);
+      }
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) rec.rows_per_sec = items->second.value;
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<BenchRecord> records;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are ASCII
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline bool WriteJson(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"iters\": %lld, \"ns_per_op\": %.1f, "
+                  "\"rows_per_sec\": %.1f",
+                  static_cast<long long>(r.iters), r.ns_per_op,
+                  r.rows_per_sec);
+    out << "    {\"name\": \"" << JsonEscape(r.name) << "\", " << buf << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+inline int BenchmarkMainWithJson(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kFlag[] = "--json_out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !WriteJson(json_path, reporter.records)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace benchjson
+}  // namespace rfv
+
+#define BENCH_MAIN_WITH_JSON()                               \
+  int main(int argc, char** argv) {                          \
+    return rfv::benchjson::BenchmarkMainWithJson(argc, argv); \
+  }
+
+#endif  // RFVIEW_BENCH_JSON_REPORTER_H_

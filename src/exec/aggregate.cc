@@ -92,35 +92,38 @@ Status HashAggregateOp::OpenImpl() {
     group_index[{}] = new_group({});
   }
 
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(child_->Next(&row, &eof));
-    if (eof) break;
-
-    std::vector<Value> key;
-    key.reserve(group_by_.size());
-    for (const ExprPtr& g : group_by_) {
-      Value v;
-      RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*g, row));
-      key.push_back(std::move(v));
-    }
-    size_t gi;
-    const auto it = group_index.find(key);
-    if (it != group_index.end()) {
-      gi = it->second;
-    } else {
-      gi = new_group(key);
-      group_index.emplace(std::move(key), gi);
-    }
-    std::vector<Accumulator>& accs = group_accs[gi];
-    for (size_t i = 0; i < aggregates_.size(); ++i) {
-      if (aggregates_[i].is_count_star) {
-        accs[i].AddRowForCountStar();
-      } else {
+  // Batch pull keeps the aggregation streaming (only the accumulators
+  // are buffered, never the input).
+  RowBatch batch;
+  bool input_eof = false;
+  while (!input_eof) {
+    RFV_RETURN_IF_ERROR(child_->NextBatch(&batch, &input_eof));
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      const Row& row = batch.row(bi);
+      std::vector<Value> key;
+      key.reserve(group_by_.size());
+      for (const ExprPtr& g : group_by_) {
         Value v;
-        RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*aggregates_[i].arg, row));
-        accs[i].Add(v);
+        RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*g, row));
+        key.push_back(std::move(v));
+      }
+      size_t gi;
+      const auto it = group_index.find(key);
+      if (it != group_index.end()) {
+        gi = it->second;
+      } else {
+        gi = new_group(key);
+        group_index.emplace(std::move(key), gi);
+      }
+      std::vector<Accumulator>& accs = group_accs[gi];
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (aggregates_[i].is_count_star) {
+          accs[i].AddRowForCountStar();
+        } else {
+          Value v;
+          RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*aggregates_[i].arg, row));
+          accs[i].Add(v);
+        }
       }
     }
   }

@@ -1,0 +1,63 @@
+#ifndef RFVIEW_EXEC_BATCH_H_
+#define RFVIEW_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/row.h"
+
+namespace rfv {
+
+/// A fixed-capacity buffer of rows flowing through the batch execution
+/// path (PhysicalOperator::NextBatch). A batch amortizes per-row virtual
+/// dispatch and the metric shell's clock reads across ~1024 rows; the
+/// row slots are retained across Clear() so steady-state batch reuse
+/// performs no allocations beyond what the rows themselves need.
+class RowBatch {
+ public:
+  /// Target batch size: large enough to amortize per-call overhead,
+  /// small enough to stay cache-resident for typical row widths.
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& row(size_t i) { return rows_[i]; }
+
+  /// Logical reset; previously filled slots keep their storage and are
+  /// overwritten by subsequent Push calls.
+  void Clear() { size_ = 0; }
+
+  /// Drops all rows past the first `n` (used by LimitOp).
+  void Truncate(size_t n) {
+    if (n < size_) size_ = n;
+  }
+
+  /// Appends one row. Callers are expected to respect capacity() via
+  /// full(); pushing past capacity still works (the batch grows) so a
+  /// producer that overshoots by a row stays correct.
+  void Push(Row row) {
+    if (size_ < rows_.size()) {
+      rows_[size_] = std::move(row);
+    } else {
+      rows_.push_back(std::move(row));
+    }
+    ++size_;
+  }
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_BATCH_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "exec/operators.h"
 #include "plan/planner.h"
@@ -99,6 +100,28 @@ Result<PhysicalOperatorPtr> BuildJoin(const LogicalPlan& plan,
 
   PhysicalOperatorPtr left;
   RFV_ASSIGN_OR_RETURN(left, BuildPhysicalPlan(left_plan, options));
+
+  // Merge band join: right side must be a bare table scan with an
+  // integer key column the condition constrains to bands (interval,
+  // stride, or point-set per left row). Considered ahead of the index
+  // probe — the sorted merge touches only matching keys where the index
+  // hull would scan and re-filter whole prefixes.
+  if (options.enable_merge_band_join && plan.join_condition != nullptr &&
+      right_plan.kind == PlanKind::kScan) {
+    std::optional<BandJoinSpec> band = TryExtractBandJoin(
+        *plan.join_condition, left_width, right_plan.table);
+    if (band.has_value()) {
+      if (band->approximate) {
+        // Over-approximating bands re-check the full condition.
+        band->residual = plan.join_condition->Clone();
+      }
+      PhysicalOperatorPtr right;
+      RFV_ASSIGN_OR_RETURN(right, BuildPhysicalPlan(right_plan, options));
+      return PhysicalOperatorPtr(new MergeBandJoinOp(
+          plan.schema, std::move(left), std::move(right), std::move(*band),
+          plan.join_type));
+    }
+  }
 
   // Index nested-loop join: right side must be a bare table scan with a
   // usable ordered index.
@@ -292,14 +315,15 @@ std::string FormatMetricsLine(const std::string& label,
   } else {
     std::snprintf(est, sizeof(est), "-");
   }
-  char line[288];
+  char line[320];
   std::snprintf(
       line, sizeof(line),
       "%-24s rows_in=%-9lld rows_out=%-9lld est=%-9s next_calls=%-9lld "
-      "open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
+      "batches=%-6lld open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
       label.c_str(), static_cast<long long>(e.rows_in),
       static_cast<long long>(e.metrics.rows_out), est,
       static_cast<long long>(e.metrics.next_calls),
+      static_cast<long long>(e.metrics.batches_out),
       static_cast<double>(e.metrics.open_ns) / 1e6,
       static_cast<double>(e.metrics.next_ns) / 1e6,
       static_cast<long long>(e.metrics.peak_buffered_rows));
@@ -343,6 +367,7 @@ std::string FormatMetricsRollup(
     total.rows_in += e.rows_in;
     total.metrics.rows_out += e.metrics.rows_out;
     total.metrics.next_calls += e.metrics.next_calls;
+    total.metrics.batches_out += e.metrics.batches_out;
     total.metrics.open_ns += e.metrics.open_ns;
     total.metrics.next_ns += e.metrics.next_ns;
     total.metrics.peak_buffered_rows =
@@ -395,7 +420,19 @@ std::string FormatMetricsTree(
   return out;
 }
 
-Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
+namespace {
+
+Counter* BatchesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_exec_batches_total", {},
+      "Row batches drained from query plan roots by the batch driver");
+  return c;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
+                                         bool use_batches) {
   {
     TraceSpan open_span("exec.open");
     if (open_span.active()) open_span.AddArg("root", op->name());
@@ -403,12 +440,27 @@ Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
   }
   TraceSpan drain_span("exec.drain");
   std::vector<Row> rows;
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(op->Next(&row, &eof));
-    if (eof) break;
-    rows.push_back(std::move(row));
+  if (use_batches) {
+    RowBatch batch;
+    while (true) {
+      bool eof = false;
+      RFV_RETURN_IF_ERROR(op->NextBatch(&batch, &eof));
+      if (!batch.empty()) {
+        BatchesCounter()->Increment();
+        for (size_t i = 0; i < batch.size(); ++i) {
+          rows.push_back(std::move(batch.row(i)));
+        }
+      }
+      if (eof) break;
+    }
+  } else {
+    while (true) {
+      Row row;
+      bool eof = false;
+      RFV_RETURN_IF_ERROR(op->Next(&row, &eof));
+      if (eof) break;
+      rows.push_back(std::move(row));
+    }
   }
   if (drain_span.active()) {
     drain_span.AddArg("rows", std::to_string(rows.size()));
@@ -416,11 +468,24 @@ Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op) {
   return rows;
 }
 
+Status DrainChild(PhysicalOperator* child, std::vector<Row>* out) {
+  RowBatch batch;
+  while (true) {
+    bool eof = false;
+    RFV_RETURN_IF_ERROR(child->NextBatch(&batch, &eof));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out->push_back(std::move(batch.row(i)));
+    }
+    if (eof) break;
+  }
+  return Status::OK();
+}
+
 Result<std::vector<Row>> ExecutePlan(const LogicalPlan& plan,
                                      const ExecOptions& options) {
   PhysicalOperatorPtr op;
   RFV_ASSIGN_OR_RETURN(op, BuildPhysicalPlan(plan, options));
-  return ExecuteToVector(op.get());
+  return ExecuteToVector(op.get(), options.use_batch_execution);
 }
 
 }  // namespace rfv

@@ -10,6 +10,7 @@
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "exec/batch.h"
 #include "plan/logical_plan.h"
 
 namespace rfv {
@@ -19,8 +20,9 @@ namespace rfv {
 /// themselves (peak buffered rows, reported by the materializing ones).
 /// Cheap enough to keep always-on: two steady_clock reads per Next.
 struct OperatorMetrics {
-  int64_t rows_out = 0;    ///< rows produced through Next
-  int64_t next_calls = 0;  ///< Next invocations, including the EOF call
+  int64_t rows_out = 0;    ///< rows produced through Next / NextBatch
+  int64_t next_calls = 0;  ///< Next/NextBatch invocations, incl. the EOF call
+  int64_t batches_out = 0;  ///< NextBatch invocations that produced rows
   int64_t open_ns = 0;     ///< wall time inside Open (incl. children)
   int64_t next_ns = 0;     ///< cumulative wall time inside Next (ditto)
   /// High-water mark of rows materialized by this operator (sort
@@ -32,11 +34,17 @@ struct OperatorMetrics {
 };
 
 /// Pull-based (Volcano-style) physical operator. Lifecycle:
-/// Open() once, Next() until *eof, destructor releases state.
+/// Open() once, then either Next() until *eof (row-at-a-time) or
+/// NextBatch() until *eof (batch-at-a-time); destructor releases state.
+/// A driver picks ONE of the two pull styles per operator instance and
+/// sticks with it — interleaving them on the same operator is undefined.
 ///
-/// Open/Next are non-virtual shells that maintain OperatorMetrics and
-/// delegate to the OpenImpl/NextImpl overrides; white-box users (tests,
-/// the executor driver) keep calling Open/Next as before.
+/// Open/Next/NextBatch are non-virtual shells that maintain
+/// OperatorMetrics and delegate to the OpenImpl/NextImpl/NextBatchImpl
+/// overrides; white-box users (tests, the executor driver) keep calling
+/// the shells as before. NextBatchImpl has a default row-loop fallback,
+/// so operators without a batch-native implementation work unchanged
+/// under a batch driver.
 class PhysicalOperator {
  public:
   explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
@@ -47,6 +55,7 @@ class PhysicalOperator {
 
   Status Open() {
     metrics_.Reset();
+    exhausted_ = false;
     const auto start = std::chrono::steady_clock::now();
     Status status = OpenImpl();
     metrics_.open_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -65,6 +74,32 @@ class PhysicalOperator {
                             .count();
     ++metrics_.next_calls;
     if (status.ok() && !*eof) ++metrics_.rows_out;
+    return status;
+  }
+
+  /// Produces up to batch->capacity() rows into *batch (cleared first).
+  /// *eof = true means the stream is exhausted; the final batch may be
+  /// non-empty AND carry *eof = true, so drain the batch before testing
+  /// eof. Calling again after eof is safe and yields an empty eof batch.
+  Status NextBatch(RowBatch* batch, bool* eof) {
+    batch->Clear();
+    if (exhausted_) {
+      *eof = true;
+      ++metrics_.next_calls;
+      return Status::OK();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    *eof = false;
+    Status status = NextBatchImpl(batch, eof);
+    metrics_.next_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    ++metrics_.next_calls;
+    if (status.ok()) {
+      metrics_.rows_out += static_cast<int64_t>(batch->size());
+      if (!batch->empty()) ++metrics_.batches_out;
+      if (*eof) exhausted_ = true;
+    }
     return status;
   }
 
@@ -93,6 +128,24 @@ class PhysicalOperator {
   virtual Status OpenImpl() = 0;
   virtual Status NextImpl(Row* row, bool* eof) = 0;
 
+  /// Default batch production: a tight row loop over NextImpl (NOT the
+  /// Next shell — the shell's clock reads and counters must not be paid
+  /// twice). Batch-native operators override this and typically pull
+  /// their child through NextBatch.
+  virtual Status NextBatchImpl(RowBatch* batch, bool* eof) {
+    while (!batch->full()) {
+      Row row;
+      bool row_eof = false;
+      RFV_RETURN_IF_ERROR(NextImpl(&row, &row_eof));
+      if (row_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      batch->Push(std::move(row));
+    }
+    return Status::OK();
+  }
+
   /// Raises the buffered-rows high-water mark (materializing operators
   /// call this after filling their buffers).
   void NoteBufferedRows(size_t n) {
@@ -106,6 +159,10 @@ class PhysicalOperator {
  private:
   OperatorMetrics metrics_;
   double estimated_rows_ = -1;
+  /// Set once NextBatch reports eof; guards re-entry into NextBatchImpl
+  /// after exhaustion (the batch protocol allows a non-empty final
+  /// batch, so drivers may legally call once more).
+  bool exhausted_ = false;
 };
 
 using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
@@ -158,6 +215,17 @@ std::string FormatMetricsTree(
 struct ExecOptions {
   bool enable_index_nested_loop_join = true;
   bool enable_hash_join = true;
+  /// Streaming merge band join for `lo(s1) <= s2.key <= hi(s1)` hull
+  /// (and stride/congruence) join predicates on an INTEGER right
+  /// column — the execution strategy behind the paper's Fig. 2/10/13
+  /// self-join patterns. Considered before the index nested-loop probe;
+  /// falls through when the condition has no band shape.
+  bool enable_merge_band_join = true;
+  /// Drive query execution batch-at-a-time (RowBatch, ~1024 rows) to
+  /// amortize per-row virtual dispatch and metric clock reads. Off =
+  /// the row-at-a-time Volcano driver; results are identical (the fuzz
+  /// harness diffs the two paths).
+  bool use_batch_execution = true;
   /// Sort-merge join for equi joins; consulted when the hash join is
   /// disabled or skipped (hash is the default equi strategy).
   bool enable_sort_merge_join = false;
@@ -180,8 +248,17 @@ struct ExecOptions {
 Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
                                               const ExecOptions& options = {});
 
-/// Runs an operator tree to completion.
-Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op);
+/// Runs an operator tree to completion. `use_batches` selects the pull
+/// style: true drains the root through NextBatch (counting each drained
+/// batch in the rfv_exec_batches_total metric), false through Next.
+Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
+                                         bool use_batches = true);
+
+/// Appends every remaining row of an already-open `child` to *out via
+/// NextBatch — the shared input drain of the materializing operators
+/// (sort, window, join build sides), so their children run batch-at-a-
+/// time even under a row-at-a-time root.
+Status DrainChild(PhysicalOperator* child, std::vector<Row>* out);
 
 /// Convenience: build + run.
 Result<std::vector<Row>> ExecutePlan(const LogicalPlan& plan,

@@ -19,13 +19,7 @@ Status NestedLoopJoinOp::OpenImpl() {
   RFV_RETURN_IF_ERROR(left_->Open());
   RFV_RETURN_IF_ERROR(right_->Open());
   right_width_ = right_->schema().NumColumns();
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(right_->Next(&row, &eof));
-    if (eof) break;
-    right_rows_.push_back(std::move(row));
-  }
+  RFV_RETURN_IF_ERROR(DrainChild(right_.get(), &right_rows_));
   NoteBufferedRows(right_rows_.size());
   return Status::OK();
 }
@@ -543,12 +537,10 @@ Status HashJoinOp::OpenImpl() {
   RFV_RETURN_IF_ERROR(left_->Open());
   RFV_RETURN_IF_ERROR(right_->Open());
   right_width_ = right_->schema().NumColumns();
+  std::vector<Row> build_rows;
+  RFV_RETURN_IF_ERROR(DrainChild(right_.get(), &build_rows));
   size_t buffered = 0;
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(right_->Next(&row, &eof));
-    if (eof) break;
+  for (Row& row : build_rows) {
     std::vector<Value> key;
     key.reserve(right_keys_.size());
     bool has_null = false;

@@ -19,7 +19,10 @@
 namespace rfv {
 
 /// Full scan over a base table. Reads the table's row store directly;
-/// tables must not be mutated while a scan is open.
+/// tables must not be mutated while a scan is open — enforced: Open
+/// snapshots the table's mutation epoch and any Next/NextBatch after a
+/// DML statement landed returns ExecutionError instead of reading
+/// freed/compacted rows.
 class TableScanOp : public PhysicalOperator {
  public:
   TableScanOp(Schema schema, Table* table)
@@ -31,10 +34,15 @@ class TableScanOp : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextBatchImpl(RowBatch* batch, bool* eof) override;
 
  private:
+  /// ExecutionError when the table mutated since OpenImpl.
+  Status CheckEpoch() const;
+
   Table* table_;
   size_t pos_ = 0;
+  uint64_t open_epoch_ = 0;
 };
 
 class FilterOp : public PhysicalOperator {
@@ -52,10 +60,15 @@ class FilterOp : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextBatchImpl(RowBatch* batch, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
   ExprPtr predicate_;
+  // Batch path: rows pulled from the child, consumed at input_pos_.
+  RowBatch input_;
+  size_t input_pos_ = 0;
+  bool child_eof_ = false;
 };
 
 class ProjectOp : public PhysicalOperator {
@@ -74,10 +87,15 @@ class ProjectOp : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextBatchImpl(RowBatch* batch, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
   std::vector<ExprPtr> projections_;
+  // Batch path: rows pulled from the child, consumed at input_pos_.
+  RowBatch input_;
+  size_t input_pos_ = 0;
+  bool child_eof_ = false;
 };
 
 /// Nested-loop join: materializes the right input once, then scans it
@@ -204,6 +222,135 @@ class IndexNestedLoopJoinOp : public PhysicalOperator {
   bool left_matched_ = false;
   std::vector<size_t> candidates_;
   size_t candidate_pos_ = 0;
+};
+
+/// One band of a merge band join: the set of right-side keys a left row
+/// joins with, described as an inclusive integer interval plus an
+/// optional congruence (stride) constraint. All expressions are bound
+/// over the LEFT schema.
+struct BandSpec {
+  /// Interval bounds; null = unbounded on that side. A NULL bound value
+  /// at runtime makes the band empty (SQL comparison semantics).
+  ExprPtr lo;
+  ExprPtr hi;
+  /// True when the source conjunct was strict (`<` / `>`): the evaluated
+  /// integer bound is tightened by one at runtime.
+  bool lo_strict = false;
+  bool hi_strict = false;
+  /// Congruence constraint `MOD(anchor, modulus) = MOD(key, modulus)`:
+  /// only keys congruent to the anchor survive. modulus == 0 = none.
+  /// MOD is the engine's floored modulo, so congruence-class enumeration
+  /// is exact for negative keys too.
+  ExprPtr anchor;
+  int64_t modulus = 0;
+  /// lo and hi are the same single point (`rc = e` / IN candidates).
+  bool is_point = false;
+};
+
+/// Merge band join plan: each left row matches right rows whose key
+/// column falls in ANY of the bands (the bands are the branches of the
+/// paper's disjunctive MaxOA/MinOA join predicates). Produced by
+/// TryExtractBandJoin (exec/band_join.cc).
+struct BandJoinSpec {
+  /// Right-table column (table-local index) holding the band key; gated
+  /// to DataType::kInt64.
+  size_t right_column = 0;
+  std::vector<BandSpec> bands;
+  /// True when the bands over-approximate the condition (an OR branch
+  /// carried conjuncts the extractor could not fold into the band); the
+  /// full original condition is then re-checked per candidate.
+  bool approximate = false;
+  /// Condition to evaluate on each joined candidate row; null = accept.
+  /// When `approximate`, this is the full original join condition.
+  ExprPtr residual;
+};
+
+/// Attempts to turn `condition` into a band join on an INTEGER column of
+/// `right_table`. Returns nullopt when no band shape is found, or when
+/// the shape is one the hash/index joins already handle better (a single
+/// equality point and nothing else).
+///
+/// Recognized per-conjunct shapes on an int64 right column rc:
+///   rc BETWEEN lo AND hi / rc <op> e       → interval band
+///   rc = e / rc IN (...) / e IN (rc ± c)   → point bands
+///   MOD(e, w) = MOD(rc, w)                 → congruence on the band
+///   OR of branches, each an AND of the above → one band per branch
+std::optional<BandJoinSpec> TryExtractBandJoin(const Expr& condition,
+                                               size_t left_width,
+                                               Table* right_table);
+
+/// Merge band join: materializes the right input once into a sorted
+/// (key, row) array — skipping the sort when the input is already in key
+/// order — then resolves each left row's bands against it with monotone
+/// start cursors (O(n + matches) for the paper's forward-moving frames),
+/// binary-search fallback for non-monotone bounds, and congruence-class
+/// stride enumeration for the MaxOA/MinOA partitioned patterns. This is
+/// the linear-time execution strategy for the Fig. 2/10/13 self-join
+/// patterns; selected ahead of the index nested-loop probe when the
+/// condition has band shape.
+class MergeBandJoinOp : public PhysicalOperator {
+ public:
+  MergeBandJoinOp(Schema schema, PhysicalOperatorPtr left,
+                  PhysicalOperatorPtr right, BandJoinSpec spec,
+                  JoinType join_type)
+      : PhysicalOperator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        spec_(std::move(spec)),
+        join_type_(join_type) {}
+  const char* name() const override { return "merge_band_join"; }
+  void AppendChildren(
+      std::vector<const PhysicalOperator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* row, bool* eof) override;
+
+ private:
+  /// Evaluated, integer-resolved bounds of one band for one left row.
+  struct ResolvedBand {
+    int64_t lo = 0;
+    int64_t hi = 0;
+    int64_t residue = 0;  ///< anchor's congruence class (modulus > 0)
+    int64_t modulus = 0;
+    bool empty = false;
+  };
+
+  Status AdvanceLeft(bool* eof);
+  Status ResolveBand(const BandSpec& band, const Row& left_row,
+                     ResolvedBand* out) const;
+  /// Appends row ids of keys_ positions matching `band` to candidates_,
+  /// using the per-band monotone start cursor `cursor`.
+  void CollectBand(const ResolvedBand& band, size_t band_index);
+
+  PhysicalOperatorPtr left_;
+  PhysicalOperatorPtr right_;
+  BandJoinSpec spec_;
+  JoinType join_type_;
+
+  std::vector<Row> right_rows_;
+  /// (key, row id) for non-NULL keys, sorted by key then row id.
+  std::vector<std::pair<int64_t, size_t>> keys_;
+  /// Dense direct-address table: keys are unique and contiguous, so
+  /// dense_[key - dense_base_] is the row id (point/stride lookups
+  /// become O(1)).
+  std::vector<size_t> dense_;
+  int64_t dense_base_ = 0;
+  bool dense_valid_ = false;
+  /// Per-band monotone start cursors into keys_ with the previous lower
+  /// bound; reused across left rows while bounds move forward.
+  std::vector<size_t> cursors_;
+  std::vector<int64_t> prev_lo_;
+
+  Row current_left_;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+  std::vector<size_t> candidates_;
+  size_t candidate_pos_ = 0;
+  size_t right_width_ = 0;
 };
 
 /// Hash join on equi-key conjuncts (inner / left outer) with optional
@@ -441,6 +588,7 @@ class UnionAllOp : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextBatchImpl(RowBatch* batch, bool* eof) override;
 
  private:
   std::vector<PhysicalOperatorPtr> children_;
@@ -462,6 +610,7 @@ class LimitOp : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextBatchImpl(RowBatch* batch, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;

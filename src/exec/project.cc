@@ -4,7 +4,28 @@
 
 namespace rfv {
 
-Status ProjectOp::OpenImpl() { return child_->Open(); }
+namespace {
+
+Result<Row> ProjectRow(const std::vector<ExprPtr>& projections,
+                       const Row& input) {
+  std::vector<Value> values;
+  values.reserve(projections.size());
+  for (const ExprPtr& projection : projections) {
+    Value v;
+    RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*projection, input));
+    values.push_back(std::move(v));
+  }
+  return Row(std::move(values));
+}
+
+}  // namespace
+
+Status ProjectOp::OpenImpl() {
+  input_.Clear();
+  input_pos_ = 0;
+  child_eof_ = false;
+  return child_->Open();
+}
 
 Status ProjectOp::NextImpl(Row* row, bool* eof) {
   Row input;
@@ -14,15 +35,25 @@ Status ProjectOp::NextImpl(Row* row, bool* eof) {
     *eof = true;
     return Status::OK();
   }
-  std::vector<Value> values;
-  values.reserve(projections_.size());
-  for (const ExprPtr& projection : projections_) {
-    Value v;
-    RFV_ASSIGN_OR_RETURN(v, Evaluator::Eval(*projection, input));
-    values.push_back(std::move(v));
-  }
-  *row = Row(std::move(values));
+  RFV_ASSIGN_OR_RETURN(*row, ProjectRow(projections_, input));
   *eof = false;
+  return Status::OK();
+}
+
+Status ProjectOp::NextBatchImpl(RowBatch* batch, bool* eof) {
+  while (!batch->full()) {
+    if (input_pos_ >= input_.size()) {
+      if (child_eof_) break;
+      RFV_RETURN_IF_ERROR(child_->NextBatch(&input_, &child_eof_));
+      input_pos_ = 0;
+      if (input_.empty()) continue;
+    }
+    Row out;
+    RFV_ASSIGN_OR_RETURN(out,
+                         ProjectRow(projections_, input_.row(input_pos_++)));
+    batch->Push(std::move(out));
+  }
+  *eof = child_eof_ && input_pos_ >= input_.size();
   return Status::OK();
 }
 

@@ -4,16 +4,36 @@ namespace rfv {
 
 Status TableScanOp::OpenImpl() {
   pos_ = 0;
+  open_epoch_ = table_->mutation_epoch();
+  return Status::OK();
+}
+
+Status TableScanOp::CheckEpoch() const {
+  if (table_->mutation_epoch() != open_epoch_) {
+    return Status::ExecutionError("table '" + table_->name() +
+                                  "' was mutated while a scan was open");
+  }
   return Status::OK();
 }
 
 Status TableScanOp::NextImpl(Row* row, bool* eof) {
+  RFV_RETURN_IF_ERROR(CheckEpoch());
   if (pos_ >= table_->NumRows()) {
     *eof = true;
     return Status::OK();
   }
   *row = table_->row(pos_++);
   *eof = false;
+  return Status::OK();
+}
+
+Status TableScanOp::NextBatchImpl(RowBatch* batch, bool* eof) {
+  RFV_RETURN_IF_ERROR(CheckEpoch());
+  const size_t n = table_->NumRows();
+  while (pos_ < n && !batch->full()) {
+    batch->Push(table_->row(pos_++));
+  }
+  *eof = pos_ >= n;
   return Status::OK();
 }
 

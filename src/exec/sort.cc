@@ -12,12 +12,10 @@ Status SortOp::OpenImpl() {
   RFV_RETURN_IF_ERROR(child_->Open());
 
   std::vector<Row> rows;
+  RFV_RETURN_IF_ERROR(DrainChild(child_.get(), &rows));
   std::vector<std::vector<Value>> keys;
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(child_->Next(&row, &eof));
-    if (eof) break;
+  keys.reserve(rows.size());
+  for (const Row& row : rows) {
     std::vector<Value> key;
     key.reserve(keys_.size());
     for (const SortKey& k : keys_) {
@@ -26,7 +24,6 @@ Status SortOp::OpenImpl() {
       key.push_back(std::move(v));
     }
     keys.push_back(std::move(key));
-    rows.push_back(std::move(row));
   }
 
   std::vector<size_t> order(rows.size());

@@ -25,11 +25,9 @@ Status SortMergeJoinOp::Materialize(PhysicalOperator* input,
                                     std::vector<Keyed>* out) {
   out->clear();
   RFV_RETURN_IF_ERROR(input->Open());
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(input->Next(&row, &eof));
-    if (eof) break;
+  std::vector<Row> rows;
+  RFV_RETURN_IF_ERROR(DrainChild(input, &rows));
+  for (Row& row : rows) {
     Keyed keyed;
     keyed.key.reserve(keys.size());
     for (const ExprPtr& k : keys) {

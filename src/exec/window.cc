@@ -18,13 +18,7 @@ Status WindowOp::OpenImpl() {
   extra_columns_.clear();
   pos_ = 0;
   RFV_RETURN_IF_ERROR(child_->Open());
-  while (true) {
-    Row row;
-    bool eof = false;
-    RFV_RETURN_IF_ERROR(child_->Next(&row, &eof));
-    if (eof) break;
-    rows_.push_back(std::move(row));
-  }
+  RFV_RETURN_IF_ERROR(DrainChild(child_.get(), &rows_));
   NoteBufferedRows(rows_.size());
   extra_columns_.reserve(calls_.size());
   for (const WindowCall& call : calls_) {

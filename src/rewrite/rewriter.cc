@@ -231,6 +231,19 @@ PatternStats Rewriter::StatsForView(const SequenceViewDef& view) const {
   if (content.ok()) {
     stats.content_rows = (*content)->stats().row_count;
     stats.stale = (*content)->stats().AnyStale();
+    // Position-column statistics price the index-hull and band-join
+    // alternatives (PatternStats::PosDensity).
+    const std::optional<size_t> pos_idx =
+        (*content)->schema().TryFindColumn("", view.order_column);
+    if (pos_idx.has_value() &&
+        *pos_idx < (*content)->stats().columns.size()) {
+      const ColumnStats& pos = (*content)->stats().columns[*pos_idx];
+      if (pos.has_range) {
+        stats.pos_min = pos.min_value;
+        stats.pos_max = pos.max_value;
+      }
+      stats.pos_distinct = pos.distinct_count;
+    }
   } else {
     stats.content_rows = view.n;
   }

@@ -31,18 +31,21 @@ struct RewriteOptions {
 
 /// The cost model keeps the view rewrite unless recompute is estimated
 /// cheaper by more than this factor. The margin is deliberately wide:
-/// in this engine both the derivation patterns and the Fig. 2 recompute
-/// baseline run as quadratic nested-loop self joins, and the
-/// congruence-branch disjunction carries a structural ~2–2.5× predicate
-/// overhead at *any* scale while delivering its payoff in tuple fan-in
-/// that the unit model undercounts (the view rows are pre-aggregated
-/// windows). The gate therefore only declines when chain fan-out — not
-/// that structural floor — dominates: degenerate narrow-stride
-/// derivations (w_x → 2) drag ~n/2 view tuples per output row through
-/// the aggregation and estimate at ≳3.9× baseline, while every healthy
-/// configuration sits at ≲2.5×. See docs/COST_MODEL.md §"No-rewrite
+/// with every pattern priced against the engine's cheapest join
+/// strategy (PriceJoin — the merge band join for the congruence
+/// disjunctions, the index hull or band for Fig. 2's BETWEEN), the
+/// quadratic all-pairs floor is gone from both sides and the ratio is
+/// carried by candidate counts and tuple fan-in. The derivation's
+/// stride chains touch ~2·k̄/w_x candidates per output row against the
+/// baseline's w_y, a structural ~3–5× at typical Table-2 shapes —
+/// overhead the unit model overstates because the view rows are
+/// pre-aggregated windows. The gate therefore only declines when chain
+/// fan-out dominates outright: degenerate narrow-stride derivations
+/// (w_x → 2) drag ~n/2 view tuples per output row through the
+/// aggregation and estimate at ≳8× baseline, while every healthy
+/// configuration sits at ≲5×. See docs/COST_MODEL.md §"No-rewrite
 /// decision".
-inline constexpr double kRewriteCostBias = 3.0;
+inline constexpr double kRewriteCostBias = 6.0;
 
 struct RewriteResult {
   std::string sql;  ///< rewritten query over the view's content table

@@ -21,14 +21,60 @@ CostEstimate Finish(CostEstimate est) {
   return est;
 }
 
+/// Prices a pattern's join predicate against the engine's alternatives
+/// and stores the cheapest in est->pred_evals / est->join:
+///   nested loop  n·m pairs, every branch of the disjunction tested;
+///   index hull   n probes, each scanning the predicate's position hull
+///                (hull_rows candidates, re-checked branch-wide) —
+///                requires the ordered index;
+///   band merge   n band resolutions touching only band_rows interval/
+///                stride candidates per left row (exec/band_join.cc).
+/// hull_rows / band_rows are candidate counts per left row; pass a
+/// negative band_rows when the condition has no band shape.
+void PriceJoin(double n, double m, double branches, double hull_rows,
+               double band_rows, const PatternStats& stats,
+               CostEstimate* est) {
+  est->pred_evals = n * m * branches;
+  est->join = JoinStrategy::kNestedLoop;
+  if (stats.indexed && hull_rows >= 0) {
+    const double hull = n * hull_rows * branches;
+    if (hull < est->pred_evals) {
+      est->pred_evals = hull;
+      est->join = JoinStrategy::kIndexHull;
+    }
+  }
+  if (band_rows >= 0) {
+    const double band = n * band_rows * branches;
+    if (band < est->pred_evals) {
+      est->pred_evals = band;
+      est->join = JoinStrategy::kBandMerge;
+    }
+  }
+}
+
 }  // namespace
 
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kNone: return "";
+    case JoinStrategy::kNestedLoop: return "nl";
+    case JoinStrategy::kIndexHull: return "index";
+    case JoinStrategy::kBandMerge: return "band";
+  }
+  return "";
+}
+
 std::string CostEstimate::Summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "total=%.0f read=%.0f pred=%.0f tuples=%.0f out=%.0f", total,
                 rows_read, pred_evals, tuples, output_rows);
-  return buf;
+  std::string out = buf;
+  if (join != JoinStrategy::kNone) {
+    out += " join=";
+    out += JoinStrategyName(join);
+  }
+  return out;
 }
 
 CostEstimate EstimateDirectCost(const PatternStats& stats) {
@@ -47,9 +93,11 @@ CostEstimate EstimateCumulativeDiffCost(const PatternStats& stats) {
   const double m = static_cast<double>(stats.content_rows);
   const double n = static_cast<double>(stats.body_rows);
   est.rows_read = n + m;
-  // Nested-loop self join; the probe predicate tests the two positions
-  // k+h and k-l-1 per pair (Fig. 5).
-  est.pred_evals = n * m * 2;
+  // Self join probing the two positions k+h and k-l-1 per output row
+  // (Fig. 5). Each branch is a point band, so the index hull and the
+  // band merge both touch one candidate per probe.
+  PriceJoin(n, m, /*branches=*/2, /*hull_rows=*/1, /*band_rows=*/1, stats,
+            &est);
   est.tuples = 2 * n;
   est.output_rows = n;
   return Finish(est);
@@ -84,10 +132,16 @@ CostEstimate EstimateMaxoaCost(const WindowSpec& view_window,
   }
 
   est.rows_read = n + m;
-  // The congruence (MOD) branch predicates defeat index/hash joins, so
-  // the engine runs a nested loop over all n·m pairs, testing every
-  // branch of the disjunction.
-  est.pred_evals = n * m * branches;
+  // The congruence (MOD) stride branches defeat hash joins, but an
+  // ordered index can still scan each probe's position hull (half the
+  // content when only one side is active, the whole content otherwise),
+  // and the merge band join enumerates exactly the `terms` stride
+  // candidates per output row.
+  const double hull_span = ((params.delta_l > 0) != (params.delta_h > 0))
+                               ? m / 2
+                               : m;
+  PriceJoin(n, m, branches, hull_span * stats.PosDensity(), terms, stats,
+            &est);
   est.tuples = n * terms;
   est.output_rows = n;
   return Finish(est);
@@ -124,7 +178,15 @@ CostEstimate EstimateMinoaCost(const WindowSpec& view_window,
   }
 
   est.rows_read = n + m;
-  est.pred_evals = n * m * branches;
+  // Coincident chains collapse to one BETWEEN band whose hull is the
+  // Δl+Δh position span; otherwise each probe's hull covers roughly
+  // half the content while the band merge touches only the stride
+  // candidates.
+  const double hull_rows = coincident
+                               ? (static_cast<double>(span) + 1)
+                               : m / 2;
+  PriceJoin(n, m, branches, hull_rows * stats.PosDensity(), terms, stats,
+            &est);
   est.tuples = n * terms;
   est.output_rows = n;
   return Finish(est);
@@ -162,8 +224,11 @@ CostEstimate EstimateSelfJoinRecomputeCost(const WindowSpec& query_window,
                        ? (b + 1) / 2  // BETWEEN 1 AND k: half the pairs match
                        : static_cast<double>(query_window.size());
   est.rows_read = 2 * b;
-  // Fig. 2: self join on a position-range predicate, one branch.
-  est.pred_evals = b * b;
+  // Fig. 2: self join on a position-range predicate, one branch. The
+  // BETWEEN band's hull per probe is the query window itself, so the
+  // index probe and the band merge price identically.
+  const double window_rows = std::min(w, b) * stats.PosDensity();
+  PriceJoin(b, b, /*branches=*/1, window_rows, window_rows, stats, &est);
   est.tuples = b * std::min(w, b);
   est.output_rows = b;
   return Finish(est);

@@ -14,12 +14,13 @@ namespace rfv {
 /// nor MinOA dominates — the winner depends on the view/query frame
 /// overlap and the data volume"). Each Estimate* function prices the
 /// relational operator pattern the rewriter would emit
-/// (rewrite/pattern_sql.h) against the engine's execution strategy for
-/// it: the congruence (MOD) join predicates of MaxOA/MinOA defeat hash
-/// and index joins, so those patterns run as nested-loop self joins
-/// whose cost is pairs-scanned × predicate-branch-width plus the chain
-/// tuples that reach the aggregation. See docs/COST_MODEL.md for the
-/// formula derivations and their mapping to the paper's figures.
+/// (rewrite/pattern_sql.h) against the *cheapest* execution strategy
+/// the engine has for its join predicate: the all-pairs nested loop,
+/// the ordered-index probe of the predicate's position hull, or the
+/// merge band join that touches only interval/stride candidates
+/// (exec/band_join.cc). The chosen alternative is recorded in
+/// CostEstimate::join and shown by EXPLAIN. See docs/COST_MODEL.md for
+/// the formula derivations and their mapping to the paper's figures.
 
 /// Statistics inputs of one costing decision, harvested from the
 /// stats-bearing tables (stats/table_stats.h) by the rewriter.
@@ -35,7 +36,41 @@ struct PatternStats {
   /// True when the decision ran on stale column statistics (counts are
   /// always exact; recorded for the rfv_rewrite_cost_* metrics).
   bool stale = false;
+
+  /// Position-column statistics (ColumnStats of the content table's pos
+  /// column), pricing the index-probe hull and band-join alternatives:
+  /// smallest and largest position. pos_max < pos_min = unknown range.
+  double pos_min = 0;
+  /// Largest position; see pos_min.
+  double pos_max = -1;
+  /// Distinct positions as of the last ANALYZE; -1 = never analyzed.
+  int64_t pos_distinct = -1;
+
+  /// Rows per unit of position range, distinct/(max-min+1) clamped to
+  /// (0, 1]; 1.0 when the range or distinct count is unknown (a complete
+  /// sequence is dense, so 1.0 is the right prior).
+  double PosDensity() const {
+    const double width = pos_max - pos_min + 1;
+    if (width <= 0 || pos_distinct <= 0) return 1.0;
+    const double d = static_cast<double>(pos_distinct) / width;
+    return d > 1.0 ? 1.0 : d;
+  }
 };
+
+/// Join execution strategy a cost estimate was priced against — the
+/// cheapest of the engine's alternatives for the pattern's join
+/// predicate (see PriceJoin in cost_model.cc). Surfaced in
+/// CostEstimate::Summary as the `join=` token, so EXPLAIN shows which
+/// physical alternative the estimate assumed.
+enum class JoinStrategy {
+  kNone,        ///< pattern has no join (direct scan, count-trivial)
+  kNestedLoop,  ///< all-pairs nested loop, every branch tested
+  kIndexHull,   ///< ordered-index probe of the predicate's position hull
+  kBandMerge,   ///< merge band join touching only band/stride candidates
+};
+
+/// Short token for the Summary line ("nl", "index", "band", "").
+const char* JoinStrategyName(JoinStrategy strategy);
 
 /// One pattern's estimated execution profile. `total` is the scalar the
 /// chooser minimizes: rows_read + pred_evals + kTupleWeight·tuples +
@@ -46,8 +81,11 @@ struct CostEstimate {
   double tuples = 0;       ///< matched tuples entering aggregation
   double output_rows = 0;  ///< rows the pattern returns
   double total = 0;
+  /// Cheapest join alternative the pred_evals term assumed.
+  JoinStrategy join = JoinStrategy::kNone;
 
-  /// "total=… read=… pred=… tuples=…" (EXPLAIN verdict rendering).
+  /// "total=… read=… pred=… tuples=… out=… join=…" (EXPLAIN verdict
+  /// rendering; the join token is omitted for join-free patterns).
   std::string Summary() const;
 };
 
@@ -56,10 +94,11 @@ struct CostEstimate {
 /// grouping hash, and aggregated — several row operations — while a
 /// failed pair costs one short-circuited branch test. The weight also
 /// makes tuple *fan-out* the discriminating term between healthy and
-/// degenerate derivations: every pattern pays the same quadratic
-/// nested-loop floor, but only narrow-stride chains drag ~n/w_x view
-/// tuples per output row through the aggregation (see the no-rewrite
-/// gate, rewrite/rewriter.h kRewriteCostBias).
+/// degenerate derivations: every pattern's predicate cost is priced at
+/// the cheapest join strategy (PriceJoin), but only narrow-stride
+/// chains drag ~n/w_x view tuples per output row through the
+/// aggregation (see the no-rewrite gate, rewrite/rewriter.h
+/// kRewriteCostBias).
 inline constexpr double kTupleWeight = 4.0;
 
 /// Direct hit: scan the content table, keep the n body rows.

@@ -39,6 +39,7 @@ Status Table::ValidateAndCoerce(Row* row) const {
 
 Status Table::Insert(Row row) {
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  ++mutation_epoch_;
   const size_t row_id = rows_.size();
   rows_.push_back(std::move(row));
   stats_.InsertRow(schema_, rows_.back());
@@ -54,6 +55,7 @@ Status Table::InsertBatch(std::vector<Row> rows) {
   for (Row& row : rows) {
     RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
   }
+  ++mutation_epoch_;
   rows_.reserve(rows_.size() + rows.size());
   for (Row& row : rows) {
     rows_.push_back(std::move(row));
@@ -68,6 +70,7 @@ Status Table::UpdateRow(size_t row_id, Row row) {
     return Status::InvalidArgument("row id out of range");
   }
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
+  ++mutation_epoch_;
   stats_.ReplaceRow(schema_, rows_[row_id], row);
   rows_[row_id] = std::move(row);
   MarkIndexesDirty();
@@ -84,6 +87,7 @@ Status Table::UpdateCell(size_t row_id, size_t column, Value value) {
   Row updated = rows_[row_id];
   updated[column] = std::move(value);
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&updated));
+  ++mutation_epoch_;
   stats_.ReplaceRow(schema_, rows_[row_id], updated);
   rows_[row_id] = std::move(updated);
   // Only indexes keyed on the changed column go stale — the paper's
@@ -99,6 +103,7 @@ Status Table::DeleteRow(size_t row_id) {
   if (row_id >= rows_.size()) {
     return Status::InvalidArgument("row id out of range");
   }
+  ++mutation_epoch_;
   stats_.RemoveRow(schema_, rows_[row_id]);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(row_id));
   MarkIndexesDirty();
@@ -106,6 +111,7 @@ Status Table::DeleteRow(size_t row_id) {
 }
 
 void Table::Truncate() {
+  ++mutation_epoch_;
   rows_.clear();
   stats_.Clear();
   MarkIndexesDirty();

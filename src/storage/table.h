@@ -1,6 +1,7 @@
 #ifndef RFVIEW_STORAGE_TABLE_H_
 #define RFVIEW_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,14 @@ class Table {
   /// always carry exact distinct counts and tight ranges.
   void Analyze() { stats_.Analyze(schema_, rows_); }
 
+  /// Counter bumped by every mutation of the row store (Insert,
+  /// InsertBatch, UpdateRow, UpdateCell, DeleteRow, Truncate) — but not
+  /// by read-side maintenance like Analyze or CreateIndex. Open scans
+  /// snapshot it and refuse to continue (ExecutionError) when it moved:
+  /// row ids are positional, so DML under an open scan would silently
+  /// skip or repeat rows.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   /// Validates a row against the schema and coerces int→double where the
   /// column is kDouble.
@@ -93,6 +102,7 @@ class Table {
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<OrderedIndex>> indexes_;
   TableStats stats_;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace rfv

@@ -303,7 +303,28 @@ class OracleRunner {
       }
     }
 
-    // Oracle 3: view rewrites vs. the native result — the cost-based
+    // Oracle 3: batch (vectorized) execution vs. the row-at-a-time pull
+    // loop. The serial run above used the engine default (batches), so
+    // replay with batches disabled and demand identical rows.
+    {
+      const bool saved_batch = db_.options().exec.use_batch_execution;
+      db_.options().exec.use_batch_execution = false;
+      Result<ResultSet> row_mode = db_.Execute(sql);
+      db_.options().exec.use_batch_execution = saved_batch;
+      if (!row_mode.ok()) {
+        RecordFailure(&verdict_, "batch", sql,
+                      row_mode.status().ToString(), round);
+      } else {
+        RecordCheck(&verdict_, "batch");
+        std::optional<std::string> diff =
+            DiffRowsCanonical(serial, *row_mode);
+        if (diff.has_value()) {
+          RecordFailure(&verdict_, "batch", sql, *diff, round);
+        }
+      }
+    }
+
+    // Oracle 4: view rewrites vs. the native result — the cost-based
     // automatic choice, the paper's static preference order, and both
     // forced methods, each under both pattern variants. Running the
     // cost-based and static choosers through the same comparison
@@ -329,6 +350,23 @@ class OracleRunner {
           db_.options().use_cost_model = config.use_cost_model;
           db_.options().rewrite_variant = variant;
           Result<ResultSet> derived = db_.Execute(sql);
+
+          // Oracle 5: merge band join on vs. off. Rewritten patterns are
+          // exactly the band-shaped self joins MergeBandJoinOp claims
+          // (BETWEEN hulls, MOD strides, disjunctions of both), so the
+          // forced-method configs are replayed with the band join
+          // disabled — falling back to index-/nested-loop joins — and
+          // must produce identical rows.
+          std::optional<Result<ResultSet>> no_band;
+          if (config.force.has_value() &&
+              variant == RewriteVariant::kDisjunctive) {
+            const bool saved_band =
+                db_.options().exec.enable_merge_band_join;
+            db_.options().exec.enable_merge_band_join = false;
+            no_band = db_.Execute(sql);
+            db_.options().exec.enable_merge_band_join = saved_band;
+          }
+
           db_.options().enable_view_rewrite = false;
           db_.options().force_method = std::nullopt;
           db_.options().use_cost_model = true;
@@ -353,6 +391,22 @@ class OracleRunner {
             RecordFailure(&verdict_, oracle,
                           sql + "\n  rewritten: " + derived->rewritten_sql(),
                           *diff, round);
+          }
+          if (no_band.has_value()) {
+            if (!no_band->ok()) {
+              RecordFailure(&verdict_, "band", sql,
+                            no_band->status().ToString(), round);
+            } else {
+              RecordCheck(&verdict_, "band");
+              std::optional<std::string> band_diff =
+                  DiffRowsCanonical(*derived, **no_band);
+              if (band_diff.has_value()) {
+                RecordFailure(&verdict_, "band",
+                              sql + "\n  rewritten: " +
+                                  derived->rewritten_sql(),
+                              *band_diff, round);
+              }
+            }
           }
         }
       }

@@ -18,8 +18,13 @@ namespace fuzzing {
 ///                   evaluator (reference_window.h);
 ///   * parallel    — exec.window_workers = 1 vs. the partition-parallel
 ///                   path (workers forced onto small inputs);
+///   * batch       — batch (vectorized) execution vs. the row-at-a-time
+///                   pull loop (exec.use_batch_execution off);
 ///   * rewrite:*   — MaxOA / MinOA / automatic view rewrites (both
 ///                   pattern variants) vs. the native operator;
+///   * band        — forced rewrites replayed with the merge band join
+///                   disabled (exec.enable_merge_band_join off) vs. the
+///                   band-join execution of the same plan;
 ///   * maintenance — incrementally maintained view content vs. a full
 ///                   recompute (ViewManager::RefreshView) after every
 ///                   DML batch.

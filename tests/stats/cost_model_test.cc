@@ -116,6 +116,76 @@ TEST(CostModelTest, SummaryRendersAllTerms) {
   EXPECT_NE(s.find("pred="), std::string::npos);
 }
 
+TEST(CostModelTest, JoinFreePatternsCarryNoJoinToken) {
+  const CostEstimate est = EstimateDirectCost(MakeStats(10, 1, 1));
+  EXPECT_EQ(est.join, JoinStrategy::kNone);
+  EXPECT_EQ(est.Summary().find("join="), std::string::npos);
+}
+
+TEST(CostModelTest, MaxoaDisjunctionPricedAsBandMerge) {
+  // Both-sided growth: the 5-branch MOD disjunction would sweep all n·m
+  // pairs under a nested loop, but the merge band join touches only the
+  // stride candidates — the model must record the cheaper alternative.
+  const PatternStats stats = MakeStats(2000, 40, 40);
+  const WindowSpec view_window = WindowSpec::SlidingUnchecked(40, 40);
+  const Result<MaxoaParams> maxoa =
+      PlanMaxoa(view_window, WindowSpec::SlidingUnchecked(44, 44));
+  ASSERT_TRUE(maxoa.ok());
+  const CostEstimate est = EstimateMaxoaCost(view_window, *maxoa, stats);
+  EXPECT_EQ(est.join, JoinStrategy::kBandMerge);
+  const double nested_loop =
+      2000.0 * static_cast<double>(stats.content_rows) * 5;
+  EXPECT_LT(est.pred_evals, nested_loop / 10);
+  EXPECT_NE(est.Summary().find("join=band"), std::string::npos);
+}
+
+TEST(CostModelTest, CumulativeDiffPointProbesUseIndexHull) {
+  // Two point probes per output row: the ordered index and the band
+  // merge price identically, and the index wins the tie. Without the
+  // index the band merge carries the same point bands.
+  PatternStats stats = MakeStats(50, 0, 1);
+  EXPECT_EQ(EstimateCumulativeDiffCost(stats).join,
+            JoinStrategy::kIndexHull);
+  stats.indexed = false;
+  const CostEstimate unindexed = EstimateCumulativeDiffCost(stats);
+  EXPECT_EQ(unindexed.join, JoinStrategy::kBandMerge);
+  EXPECT_LT(unindexed.pred_evals,
+            50.0 * static_cast<double>(stats.content_rows));
+}
+
+TEST(CostModelTest, BaselinePricedByQueryWindowNotAllPairs) {
+  // Fig. 2's BETWEEN band covers min(w, b) positions per probe — far
+  // fewer than the b² all-pairs sweep the old model charged.
+  const PatternStats stats = MakeStats(1000, 2, 1);
+  const CostEstimate est = EstimateSelfJoinRecomputeCost(
+      WindowSpec::SlidingUnchecked(5, 5), stats);
+  EXPECT_NE(est.join, JoinStrategy::kNestedLoop);
+  EXPECT_LT(est.pred_evals, 1000.0 * 1000.0 / 10);
+}
+
+TEST(CostModelTest, PosDensityDiscountsSparseSequences) {
+  // 100 distinct positions spread over a 10000-wide range: each hull
+  // scan finds ~1% of the positions populated, so the priced candidate
+  // count drops accordingly. Unknown stats keep the dense prior of 1.
+  PatternStats dense = MakeStats(1000, 2, 1);
+  PatternStats sparse = dense;
+  sparse.pos_min = 1;
+  sparse.pos_max = 10000;
+  sparse.pos_distinct = 100;
+  EXPECT_DOUBLE_EQ(dense.PosDensity(), 1.0);
+  EXPECT_NEAR(sparse.PosDensity(), 0.01, 1e-6);
+  const WindowSpec window = WindowSpec::SlidingUnchecked(20, 20);
+  EXPECT_LT(EstimateSelfJoinRecomputeCost(window, sparse).pred_evals,
+            EstimateSelfJoinRecomputeCost(window, dense).pred_evals);
+}
+
+TEST(CostModelTest, JoinStrategyNamesAreStable) {
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kNone), "");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kNestedLoop), "nl");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kIndexHull), "index");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kBandMerge), "band");
+}
+
 TEST(ChooseDerivationByCostTest, MarksChosenVerdictAndMinimizesTotal) {
   const SequenceViewDef wide = MakeView("wide", 3, 1, 50);
   const SequenceViewDef exact = MakeView("exact", 3, 1, 50);
