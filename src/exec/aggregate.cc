@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include "common/logging.h"
+#include "exec/vector_eval.h"
 #include "expr/eval.h"
 
 namespace rfv {
@@ -42,6 +43,45 @@ struct Accumulator {
       case AggFn::kMax:
         if (extreme.is_null() || v.Compare(extreme) > 0) extreme = v;
         break;
+    }
+  }
+
+  /// Vector-lane variant of Add: same semantics (including the same
+  /// failure modes via Value boxing on unexpected tags), but SUM/AVG/
+  /// COUNT never materialize a Value for the common numeric tags.
+  void AddFromVector(const Vector& v, size_t i) {
+    if (v.is_null(i)) return;
+    ++count;
+    has_value = true;
+    const DataType t = v.tag(i);
+    const bool numeric = t == DataType::kInt64 || t == DataType::kDouble;
+    switch (call->fn) {
+      case AggFn::kSum:
+        if (call->output_type == DataType::kInt64) {
+          sum_int += t == DataType::kInt64 ? v.i64(i) : v.GetValue(i).AsInt();
+        } else {
+          sum_double += numeric ? v.ToDouble(i) : v.GetValue(i).ToDouble();
+        }
+        break;
+      case AggFn::kAvg:
+        sum_double += numeric ? v.ToDouble(i) : v.GetValue(i).ToDouble();
+        break;
+      case AggFn::kCount:
+        break;
+      case AggFn::kMin: {
+        Value val = v.GetValue(i);
+        if (extreme.is_null() || val.Compare(extreme) < 0) {
+          extreme = std::move(val);
+        }
+        break;
+      }
+      case AggFn::kMax: {
+        Value val = v.GetValue(i);
+        if (extreme.is_null() || val.Compare(extreme) > 0) {
+          extreme = std::move(val);
+        }
+        break;
+      }
     }
   }
 
@@ -90,6 +130,106 @@ Status HashAggregateOp::OpenImpl() {
   // Global aggregation emits one row even for empty input.
   if (group_by_.empty()) {
     group_index[{}] = new_group({});
+  }
+
+  // Vectorized ingest: keys and aggregate arguments evaluate once per
+  // vector in columnar loops, and rows are folded straight from the
+  // lanes — no per-row Value boxing on the numeric paths. Rows are
+  // visited in selection order (ascending), so group insertion order and
+  // floating-point accumulation order match the row path exactly.
+  // Gated on the plan-wide knob, not on child_->vectorized(): a row-only
+  // child (merge band join) still serves NextVector through the
+  // transpose fallback, and the columnar key/argument evaluation wins
+  // even when the input arrives as transposed batches.
+  if (vector_exec_enabled()) {
+    std::vector<Vector> key_vecs(group_by_.size());
+    std::vector<Vector> arg_vecs(aggregates_.size());
+    // Single-int64-key fast path: group lookup on the raw int64 lane.
+    // Migrates one-way to the generic Value-keyed map the first time a
+    // non-int64, non-NULL key appears (Value::Hash then unifies Int and
+    // Double keys exactly as the row path does).
+    bool int_fast = group_by_.size() == 1;
+    std::unordered_map<int64_t, size_t> int_groups;
+    constexpr size_t kNoGroup = static_cast<size_t>(-1);
+    size_t null_group = kNoGroup;
+    bool input_eof = false;
+    while (!input_eof) {
+      VectorProjection* vp = nullptr;
+      RFV_RETURN_IF_ERROR(child_->NextVector(&vp, &input_eof));
+      if (vp == nullptr || vp->NumSelected() == 0) continue;
+      const SelectionVector& sel = vp->sel();
+      for (size_t g = 0; g < group_by_.size(); ++g) {
+        RFV_RETURN_IF_ERROR(
+            VectorEvaluator::Eval(*group_by_[g], *vp, sel, &key_vecs[g]));
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        if (!aggregates_[a].is_count_star) {
+          RFV_RETURN_IF_ERROR(VectorEvaluator::Eval(*aggregates_[a].arg, *vp,
+                                                    sel, &arg_vecs[a]));
+        }
+      }
+      for (size_t k = 0; k < sel.size(); ++k) {
+        const uint32_t i = sel[k];
+        size_t gi = 0;
+        if (!group_by_.empty()) {
+          if (int_fast) {
+            const DataType t = key_vecs[0].tag(i);
+            if (t == DataType::kInt64) {
+              const int64_t kv = key_vecs[0].i64(i);
+              const auto it = int_groups.find(kv);
+              if (it != int_groups.end()) {
+                gi = it->second;
+              } else {
+                gi = new_group({Value::Int(kv)});
+                int_groups.emplace(kv, gi);
+              }
+            } else if (t == DataType::kNull) {
+              if (null_group == kNoGroup) {
+                null_group = new_group({Value::Null()});
+              }
+              gi = null_group;
+            } else {
+              int_fast = false;
+              for (size_t g2 = 0; g2 < group_keys.size(); ++g2) {
+                group_index.emplace(group_keys[g2], g2);
+              }
+            }
+          }
+          if (!int_fast) {
+            std::vector<Value> key;
+            key.reserve(group_by_.size());
+            for (size_t g = 0; g < group_by_.size(); ++g) {
+              key.push_back(key_vecs[g].GetValue(i));
+            }
+            const auto it = group_index.find(key);
+            if (it != group_index.end()) {
+              gi = it->second;
+            } else {
+              gi = new_group(key);
+              group_index.emplace(std::move(key), gi);
+            }
+          }
+        }
+        std::vector<Accumulator>& accs = group_accs[gi];
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          if (aggregates_[a].is_count_star) {
+            accs[a].AddRowForCountStar();
+          } else {
+            accs[a].AddFromVector(arg_vecs[a], i);
+          }
+        }
+      }
+    }
+    results_.reserve(group_keys.size());
+    for (size_t gi = 0; gi < group_keys.size(); ++gi) {
+      std::vector<Value> out = std::move(group_keys[gi]);
+      for (const Accumulator& acc : group_accs[gi]) {
+        out.push_back(acc.Finish());
+      }
+      results_.push_back(Row(std::move(out)));
+    }
+    NoteBufferedRows(results_.size());
+    return Status::OK();
   }
 
   // Batch pull keeps the aggregation streaming (only the accumulators

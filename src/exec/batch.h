@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/row.h"
 
 namespace rfv {
@@ -40,10 +41,14 @@ class RowBatch {
     if (n < size_) size_ = n;
   }
 
-  /// Appends one row. Callers are expected to respect capacity() via
-  /// full(); pushing past capacity still works (the batch grows) so a
-  /// producer that overshoots by a row stays correct.
+  /// Appends one row. The capacity is a hard bound: producers must check
+  /// full() before pushing, and overshooting aborts. (The batch used to
+  /// grow silently past capacity_, which let producer bugs go unnoticed
+  /// and would break the vector path's fixed-extent assumption —
+  /// SelectionVector indices are sized to the producing batch.)
   void Push(Row row) {
+    RFV_CHECK_MSG(size_ < capacity_,
+                  "RowBatch::Push past capacity " << capacity_);
     if (size_ < rows_.size()) {
       rows_[size_] = std::move(row);
     } else {

@@ -268,6 +268,10 @@ Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
   // nested-loop join consumes the right-side scan without an operator;
   // that estimate is intentionally dropped with it).
   op->SetEstimatedRows(plan.est_rows);
+  // Stamp the pull style: drivers and batch consumers pull this operator
+  // through NextVector iff it is columnar-native and the knob is on.
+  op->SetVectorized(options.use_vectorized_execution && op->VectorNative());
+  op->SetVectorExecEnabled(options.use_vectorized_execution);
   return op;
 }
 
@@ -429,6 +433,14 @@ Counter* BatchesCounter() {
   return c;
 }
 
+Counter* VectorsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_exec_vectors_total", {},
+      "Vector projections drained from query plan roots by the "
+      "vectorized driver");
+  return c;
+}
+
 }  // namespace
 
 Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
@@ -440,7 +452,20 @@ Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
   }
   TraceSpan drain_span("exec.drain");
   std::vector<Row> rows;
-  if (use_batches) {
+  if (op->vectorized()) {
+    // Columnar root drain: rows materialize only here, at the plan
+    // boundary, from whatever survived the selection vectors.
+    while (true) {
+      VectorProjection* vp = nullptr;
+      bool eof = false;
+      RFV_RETURN_IF_ERROR(op->NextVector(&vp, &eof));
+      if (vp != nullptr && vp->NumSelected() > 0) {
+        VectorsCounter()->Increment();
+        vp->AppendSelectedTo(&rows);
+      }
+      if (eof) break;
+    }
+  } else if (use_batches) {
     RowBatch batch;
     while (true) {
       bool eof = false;
@@ -469,6 +494,16 @@ Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
 }
 
 Status DrainChild(PhysicalOperator* child, std::vector<Row>* out) {
+  if (child->vectorized()) {
+    while (true) {
+      VectorProjection* vp = nullptr;
+      bool eof = false;
+      RFV_RETURN_IF_ERROR(child->NextVector(&vp, &eof));
+      if (vp != nullptr) vp->AppendSelectedTo(out);
+      if (eof) break;
+    }
+    return Status::OK();
+  }
   RowBatch batch;
   while (true) {
     bool eof = false;

@@ -11,6 +11,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/batch.h"
+#include "exec/vector.h"
 #include "plan/logical_plan.h"
 
 namespace rfv {
@@ -20,9 +21,11 @@ namespace rfv {
 /// themselves (peak buffered rows, reported by the materializing ones).
 /// Cheap enough to keep always-on: two steady_clock reads per Next.
 struct OperatorMetrics {
-  int64_t rows_out = 0;    ///< rows produced through Next / NextBatch
-  int64_t next_calls = 0;  ///< Next/NextBatch invocations, incl. the EOF call
-  int64_t batches_out = 0;  ///< NextBatch invocations that produced rows
+  int64_t rows_out = 0;    ///< rows produced through Next/NextBatch/NextVector
+  int64_t next_calls = 0;  ///< pull invocations, incl. the EOF call
+  /// NextBatch calls that produced rows; NextVector calls that produced a
+  /// projection with a non-empty selection count here too.
+  int64_t batches_out = 0;
   int64_t open_ns = 0;     ///< wall time inside Open (incl. children)
   int64_t next_ns = 0;     ///< cumulative wall time inside Next (ditto)
   /// High-water mark of rows materialized by this operator (sort
@@ -34,17 +37,18 @@ struct OperatorMetrics {
 };
 
 /// Pull-based (Volcano-style) physical operator. Lifecycle:
-/// Open() once, then either Next() until *eof (row-at-a-time) or
-/// NextBatch() until *eof (batch-at-a-time); destructor releases state.
-/// A driver picks ONE of the two pull styles per operator instance and
-/// sticks with it — interleaving them on the same operator is undefined.
+/// Open() once, then one of the three pull styles until *eof — Next()
+/// (row-at-a-time), NextBatch() (RowBatch-at-a-time) or NextVector()
+/// (columnar VectorProjection); destructor releases state. A driver
+/// picks ONE pull style per operator instance and sticks with it —
+/// interleaving them on the same operator is undefined.
 ///
-/// Open/Next/NextBatch are non-virtual shells that maintain
-/// OperatorMetrics and delegate to the OpenImpl/NextImpl/NextBatchImpl
-/// overrides; white-box users (tests, the executor driver) keep calling
-/// the shells as before. NextBatchImpl has a default row-loop fallback,
-/// so operators without a batch-native implementation work unchanged
-/// under a batch driver.
+/// Open/Next/NextBatch/NextVector are non-virtual shells that maintain
+/// OperatorMetrics and delegate to the *Impl overrides; white-box users
+/// (tests, the executor driver) keep calling the shells as before.
+/// NextBatchImpl has a default row-loop fallback and NextVectorImpl a
+/// default transpose-a-batch fallback, so operators without native
+/// implementations work unchanged under any driver.
 class PhysicalOperator {
  public:
   explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
@@ -78,9 +82,20 @@ class PhysicalOperator {
   }
 
   /// Produces up to batch->capacity() rows into *batch (cleared first).
-  /// *eof = true means the stream is exhausted; the final batch may be
-  /// non-empty AND carry *eof = true, so drain the batch before testing
-  /// eof. Calling again after eof is safe and yields an empty eof batch.
+  ///
+  /// EOF contract (this is THE batch-protocol contract; every consumer
+  /// must honor it):
+  ///  - *eof = true means the stream is exhausted, and the SAME call may
+  ///    also have produced rows: LimitOp reports eof together with the
+  ///    batch that reached the limit, UnionAllOp together with the last
+  ///    child's final batch, TableScanOp together with the final chunk.
+  ///    Consumers therefore drain the batch FIRST and test eof second;
+  ///    treating eof as "no data" silently drops the final batch.
+  ///  - *eof = false with an empty batch is legal (operators usually
+  ///    loop internally, but consumers must not treat empty as done).
+  ///  - Calling again after eof is safe and yields an empty eof batch
+  ///    (the shell's `exhausted_` latch guarantees this even for
+  ///    operators whose Impl would misbehave on re-entry).
   Status NextBatch(RowBatch* batch, bool* eof) {
     batch->Clear();
     if (exhausted_) {
@@ -102,6 +117,62 @@ class PhysicalOperator {
     }
     return status;
   }
+
+  /// Columnar pull: points *out at the producer-owned VectorProjection
+  /// holding the next vector of rows, or at nullptr when this call
+  /// produced nothing. The projection stays valid until the next
+  /// NextVector call on this operator. Consumers may narrow the
+  /// projection's SelectionVector in place (that is the zero-copy filter
+  /// protocol) but must not touch the column data.
+  ///
+  /// EOF contract — same shape as NextBatch: *eof = true may accompany a
+  /// non-empty projection (drain first, test eof second); an empty or
+  /// null projection with *eof = false is legal; calls after eof are
+  /// safe and yield *out = nullptr with *eof = true.
+  Status NextVector(VectorProjection** out, bool* eof) {
+    *out = nullptr;
+    if (exhausted_) {
+      *eof = true;
+      ++metrics_.next_calls;
+      return Status::OK();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    *eof = false;
+    Status status = NextVectorImpl(out, eof);
+    metrics_.next_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    ++metrics_.next_calls;
+    if (status.ok()) {
+      const size_t produced = (*out != nullptr) ? (*out)->NumSelected() : 0;
+      metrics_.rows_out += static_cast<int64_t>(produced);
+      if (produced > 0) ++metrics_.batches_out;
+      if (*eof) exhausted_ = true;
+    }
+    return status;
+  }
+
+  /// True when this operator implements NextVectorImpl natively (columns
+  /// + selection vector all the way down). Operators without a native
+  /// implementation still answer NextVector through the transpose
+  /// fallback, but the planner only marks natively-columnar subtrees as
+  /// vectorized() so blocking operators keep their tuned batch drains.
+  virtual bool VectorNative() const { return false; }
+
+  /// Whether the executor driver should pull this operator through
+  /// NextVector. Stamped by BuildPhysicalPlan as `options.exec.
+  /// use_vectorized_execution && VectorNative()`; consumers (root drain,
+  /// DrainChild, aggregation ingest) dispatch on it.
+  void SetVectorized(bool v) { vectorized_ = v; }
+  bool vectorized() const { return vectorized_; }
+
+  /// The raw `exec.use_vectorized_execution` knob, stamped on every
+  /// operator of the plan (independent of VectorNative). Operators that
+  /// merely *ingest* columns — HashAggregateOp's build phase — dispatch
+  /// on this so a row-only child (e.g. the merge band join) still feeds
+  /// their typed accumulation loops through the transpose fallback.
+  void SetVectorExecEnabled(bool v) { vector_exec_enabled_ = v; }
+  bool vector_exec_enabled() const { return vector_exec_enabled_; }
 
   const Schema& schema() const { return schema_; }
 
@@ -146,6 +217,18 @@ class PhysicalOperator {
     return Status::OK();
   }
 
+  /// Default vector production: run NextBatchImpl into an operator-owned
+  /// RowBatch and transpose it — the adapter that lets row/batch-only
+  /// operators (sort, window, joins) serve a vectorized consumer.
+  /// Vector-native operators override this with true columnar pipelines.
+  virtual Status NextVectorImpl(VectorProjection** out, bool* eof) {
+    fallback_batch_.Clear();
+    RFV_RETURN_IF_ERROR(NextBatchImpl(&fallback_batch_, eof));
+    fallback_vp_.FromBatch(schema_.NumColumns(), fallback_batch_);
+    *out = &fallback_vp_;
+    return Status::OK();
+  }
+
   /// Raises the buffered-rows high-water mark (materializing operators
   /// call this after filling their buffers).
   void NoteBufferedRows(size_t n) {
@@ -159,10 +242,15 @@ class PhysicalOperator {
  private:
   OperatorMetrics metrics_;
   double estimated_rows_ = -1;
-  /// Set once NextBatch reports eof; guards re-entry into NextBatchImpl
-  /// after exhaustion (the batch protocol allows a non-empty final
-  /// batch, so drivers may legally call once more).
+  /// Set once NextBatch/NextVector reports eof; guards re-entry into the
+  /// Impl after exhaustion (the protocol allows a non-empty final
+  /// batch/vector, so drivers may legally call once more).
   bool exhausted_ = false;
+  bool vectorized_ = false;
+  bool vector_exec_enabled_ = false;
+  /// Scratch for the default NextVectorImpl transpose fallback.
+  RowBatch fallback_batch_;
+  VectorProjection fallback_vp_;
 };
 
 using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
@@ -226,6 +314,15 @@ struct ExecOptions {
   /// the row-at-a-time Volcano driver; results are identical (the fuzz
   /// harness diffs the two paths).
   bool use_batch_execution = true;
+  /// Drive vector-native operators (scan/filter/project/limit/union-all)
+  /// through the columnar NextVector protocol: expressions evaluate in
+  /// typed per-vector loops and filters narrow a SelectionVector instead
+  /// of copying rows. Takes precedence over use_batch_execution for the
+  /// subtrees it covers; non-native operators keep their row/batch
+  /// drains. Off = the PR 5 paths, kept alive as differential-testing
+  /// fallbacks (the fuzz harness "batch" and "vector" oracles replay
+  /// every query with this knob off).
+  bool use_vectorized_execution = true;
   /// Sort-merge join for equi joins; consulted when the hash join is
   /// disabled or skipped (hash is the default equi strategy).
   bool enable_sort_merge_join = false;
@@ -248,16 +345,21 @@ struct ExecOptions {
 Result<PhysicalOperatorPtr> BuildPhysicalPlan(const LogicalPlan& plan,
                                               const ExecOptions& options = {});
 
-/// Runs an operator tree to completion. `use_batches` selects the pull
-/// style: true drains the root through NextBatch (counting each drained
-/// batch in the rfv_exec_batches_total metric), false through Next.
+/// Runs an operator tree to completion. Roots stamped vectorized() are
+/// drained through NextVector (counting projections in the
+/// rfv_exec_vectors_total metric and materializing rows only at this
+/// boundary); otherwise `use_batches` selects the pull style: true
+/// drains through NextBatch (rfv_exec_batches_total), false through
+/// Next.
 Result<std::vector<Row>> ExecuteToVector(PhysicalOperator* op,
                                          bool use_batches = true);
 
-/// Appends every remaining row of an already-open `child` to *out via
-/// NextBatch — the shared input drain of the materializing operators
-/// (sort, window, join build sides), so their children run batch-at-a-
-/// time even under a row-at-a-time root.
+/// Appends every remaining row of an already-open `child` to *out — the
+/// shared input drain of the materializing operators (sort, window,
+/// join build sides), so their children run batch-at-a-time (or, when
+/// the child is stamped vectorized(), columnar) even under a
+/// row-at-a-time root. Honors the NextBatch/NextVector EOF contract:
+/// the final batch/vector is drained before eof is acted on.
 Status DrainChild(PhysicalOperator* child, std::vector<Row>* out);
 
 /// Convenience: build + run.

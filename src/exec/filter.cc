@@ -1,5 +1,6 @@
 #include "exec/operators.h"
 
+#include "exec/vector_eval.h"
 #include "expr/eval.h"
 
 namespace rfv {
@@ -43,6 +44,26 @@ Status FilterOp::NextBatchImpl(RowBatch* batch, bool* eof) {
   }
   *eof = child_eof_ && input_pos_ >= input_.size();
   return Status::OK();
+}
+
+Status FilterOp::NextVectorImpl(VectorProjection** out, bool* eof) {
+  // Narrow the child projection's selection in place and pass it
+  // through — no row is copied on this path. Loop past fully-filtered
+  // vectors so callers rarely see an empty non-eof result.
+  while (true) {
+    VectorProjection* vp = nullptr;
+    bool child_eof = false;
+    RFV_RETURN_IF_ERROR(child_->NextVector(&vp, &child_eof));
+    if (vp != nullptr && vp->NumSelected() > 0) {
+      RFV_RETURN_IF_ERROR(
+          VectorEvaluator::EvalPredicate(*predicate_, *vp, &vp->sel()));
+    }
+    *out = vp;
+    *eof = child_eof;
+    if (child_eof || (vp != nullptr && vp->NumSelected() > 0)) {
+      return Status::OK();
+    }
+  }
 }
 
 }  // namespace rfv

@@ -28,6 +28,7 @@ class TableScanOp : public PhysicalOperator {
   TableScanOp(Schema schema, Table* table)
       : PhysicalOperator(std::move(schema)), table_(table) {}
   const char* name() const override { return "scan"; }
+  bool VectorNative() const override { return true; }
 
   Table* table() const { return table_; }
 
@@ -35,6 +36,7 @@ class TableScanOp : public PhysicalOperator {
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
   Status NextBatchImpl(RowBatch* batch, bool* eof) override;
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   /// ExecutionError when the table mutated since OpenImpl.
@@ -43,6 +45,8 @@ class TableScanOp : public PhysicalOperator {
   Table* table_;
   size_t pos_ = 0;
   uint64_t open_epoch_ = 0;
+  /// Vector path: the projection handed to NextVector callers.
+  VectorProjection vp_;
 };
 
 class FilterOp : public PhysicalOperator {
@@ -52,6 +56,7 @@ class FilterOp : public PhysicalOperator {
         child_(std::move(child)),
         predicate_(std::move(predicate)) {}
   const char* name() const override { return "filter"; }
+  bool VectorNative() const override { return true; }
   void AppendChildren(
       std::vector<const PhysicalOperator*>* out) const override {
     out->push_back(child_.get());
@@ -61,6 +66,9 @@ class FilterOp : public PhysicalOperator {
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
   Status NextBatchImpl(RowBatch* batch, bool* eof) override;
+  /// Zero-copy: narrows the child projection's selection vector in place
+  /// and passes the projection through.
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -79,6 +87,7 @@ class ProjectOp : public PhysicalOperator {
         child_(std::move(child)),
         projections_(std::move(projections)) {}
   const char* name() const override { return "project"; }
+  bool VectorNative() const override { return true; }
   void AppendChildren(
       std::vector<const PhysicalOperator*>* out) const override {
     out->push_back(child_.get());
@@ -88,6 +97,7 @@ class ProjectOp : public PhysicalOperator {
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
   Status NextBatchImpl(RowBatch* batch, bool* eof) override;
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;
@@ -96,6 +106,9 @@ class ProjectOp : public PhysicalOperator {
   RowBatch input_;
   size_t input_pos_ = 0;
   bool child_eof_ = false;
+  /// Vector path: output columns evaluated from the child projection;
+  /// shares the child's row positions and selection.
+  VectorProjection out_vp_;
 };
 
 /// Nested-loop join: materializes the right input once, then scans it
@@ -580,6 +593,7 @@ class UnionAllOp : public PhysicalOperator {
   UnionAllOp(Schema schema, std::vector<PhysicalOperatorPtr> children)
       : PhysicalOperator(std::move(schema)), children_(std::move(children)) {}
   const char* name() const override { return "union_all"; }
+  bool VectorNative() const override { return true; }
   void AppendChildren(
       std::vector<const PhysicalOperator*>* out) const override {
     for (const PhysicalOperatorPtr& c : children_) out->push_back(c.get());
@@ -589,6 +603,7 @@ class UnionAllOp : public PhysicalOperator {
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
   Status NextBatchImpl(RowBatch* batch, bool* eof) override;
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   std::vector<PhysicalOperatorPtr> children_;
@@ -602,6 +617,7 @@ class LimitOp : public PhysicalOperator {
         child_(std::move(child)),
         limit_(limit) {}
   const char* name() const override { return "limit"; }
+  bool VectorNative() const override { return true; }
   void AppendChildren(
       std::vector<const PhysicalOperator*>* out) const override {
     out->push_back(child_.get());
@@ -611,6 +627,9 @@ class LimitOp : public PhysicalOperator {
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
   Status NextBatchImpl(RowBatch* batch, bool* eof) override;
+  /// Truncates the child projection's selection to the rows remaining
+  /// under the limit and passes the projection through.
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   PhysicalOperatorPtr child_;

@@ -1,5 +1,6 @@
 #include "exec/operators.h"
 
+#include "exec/vector_eval.h"
 #include "expr/eval.h"
 
 namespace rfv {
@@ -54,6 +55,32 @@ Status ProjectOp::NextBatchImpl(RowBatch* batch, bool* eof) {
     batch->Push(std::move(out));
   }
   *eof = child_eof_ && input_pos_ >= input_.size();
+  return Status::OK();
+}
+
+Status ProjectOp::NextVectorImpl(VectorProjection** out, bool* eof) {
+  VectorProjection* vp = nullptr;
+  bool child_eof = false;
+  while (true) {
+    RFV_RETURN_IF_ERROR(child_->NextVector(&vp, &child_eof));
+    if (child_eof || (vp != nullptr && vp->NumSelected() > 0)) break;
+  }
+  if (vp == nullptr || vp->NumSelected() == 0) {
+    *eof = child_eof;
+    return Status::OK();  // *out stays null: nothing to project
+  }
+  // Each projection expression is evaluated once per vector into the
+  // operator-owned output projection, which shares the child's row
+  // positions (and a copy of its selection) so downstream selection
+  // narrowing still composes.
+  out_vp_.Reset(projections_.size(), vp->num_rows());
+  for (size_t p = 0; p < projections_.size(); ++p) {
+    RFV_RETURN_IF_ERROR(VectorEvaluator::Eval(*projections_[p], *vp, vp->sel(),
+                                              &out_vp_.column(p)));
+  }
+  out_vp_.sel() = vp->sel();
+  *out = &out_vp_;
+  *eof = child_eof;
   return Status::OK();
 }
 

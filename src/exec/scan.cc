@@ -1,5 +1,7 @@
 #include "exec/operators.h"
 
+#include <algorithm>
+
 namespace rfv {
 
 Status TableScanOp::OpenImpl() {
@@ -33,6 +35,25 @@ Status TableScanOp::NextBatchImpl(RowBatch* batch, bool* eof) {
   while (pos_ < n && !batch->full()) {
     batch->Push(table_->row(pos_++));
   }
+  *eof = pos_ >= n;
+  return Status::OK();
+}
+
+Status TableScanOp::NextVectorImpl(VectorProjection** out, bool* eof) {
+  // Epoch check at entry, exactly like the row and batch paths: a
+  // mutation between vectors aborts the scan before any stale row is
+  // transposed.
+  RFV_RETURN_IF_ERROR(CheckEpoch());
+  const size_t n = table_->NumRows();
+  const size_t count = std::min<size_t>(RowBatch::kDefaultCapacity, n - pos_);
+  const size_t num_cols = schema_.NumColumns();
+  vp_.Reset(num_cols, count);
+  for (size_t i = 0; i < count; ++i) {
+    const Row& row = table_->row(pos_ + i);
+    for (size_t c = 0; c < num_cols; ++c) vp_.column(c).SetValue(i, row[c]);
+  }
+  pos_ += count;
+  *out = &vp_;
   *eof = pos_ >= n;
   return Status::OK();
 }

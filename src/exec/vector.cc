@@ -1,0 +1,72 @@
+#include "exec/vector.h"
+
+namespace rfv {
+
+Value Vector::GetValue(size_t i) const {
+  switch (tag(i)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kInt64:
+      return Value::Int(i64_[i]);
+    case DataType::kDouble:
+      return Value::Double(f64_[i]);
+    case DataType::kBool:
+      return Value::Bool(i64_[i] != 0);
+    case DataType::kString:
+      return Value::String(str_[i]);
+  }
+  return Value::Null();
+}
+
+void Vector::SetValue(size_t i, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      SetNull(i);
+      break;
+    case DataType::kInt64:
+      SetInt(i, v.AsInt());
+      break;
+    case DataType::kDouble:
+      SetDouble(i, v.AsDouble());
+      break;
+    case DataType::kBool:
+      SetBool(i, v.AsBool());
+      break;
+    case DataType::kString:
+      SetString(i, v.AsString());
+      break;
+  }
+}
+
+void VectorProjection::FromBatch(size_t num_columns, const RowBatch& batch) {
+  Reset(num_columns, batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Row& row = batch.row(i);
+    RFV_CHECK_MSG(row.size() == num_columns,
+                  "row width " << row.size() << " != projection width "
+                               << num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      columns_[c].SetValue(i, row[c]);
+    }
+  }
+}
+
+void VectorProjection::MaterializeRow(size_t pos, Row* out) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const Vector& col : columns_) values.push_back(col.GetValue(pos));
+  *out = Row(std::move(values));
+}
+
+void VectorProjection::AppendSelectedTo(std::vector<Row>* out) const {
+  out->reserve(out->size() + sel_.size());
+  for (size_t k = 0; k < sel_.size(); ++k) {
+    std::vector<Value> values;
+    values.reserve(columns_.size());
+    const uint32_t pos = sel_[k];
+    for (const Vector& col : columns_) values.push_back(col.GetValue(pos));
+    out->emplace_back(std::move(values));
+  }
+}
+
+}  // namespace rfv

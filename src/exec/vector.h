@@ -1,0 +1,188 @@
+#ifndef RFVIEW_EXEC_VECTOR_H_
+#define RFVIEW_EXEC_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/row.h"
+#include "common/value.h"
+#include "exec/batch.h"
+
+namespace rfv {
+
+/// One column of a VectorProjection: a fixed-length array of scalar
+/// cells in structure-of-arrays layout. Each element carries its own
+/// DataType tag (kNull marks NULL, folding the null bitmap into the tag
+/// lane) because the engine's INSERT path stores values without coercing
+/// them to the declared column type — an INTEGER literal inserted into a
+/// DOUBLE column stays an int64 cell, and materialized rows must
+/// reproduce those exact tags for the row/batch/vector execution modes
+/// to be byte-identical.
+///
+/// Numeric and boolean payloads live in dedicated lanes (`i64_`, `f64_`;
+/// booleans reuse the int64 lane as 0/1), so typed inner loops read a
+/// flat array with one predictable tag branch per element instead of
+/// walking a std::variant. The string lane is sized lazily — purely
+/// numeric vectors never touch it.
+class Vector {
+ public:
+  /// Resizes to `n` elements, all NULL. Lane storage is retained across
+  /// Reset calls, so steady-state reuse performs no allocations.
+  void Reset(size_t n) {
+    size_ = n;
+    tag_.assign(n, static_cast<uint8_t>(DataType::kNull));
+    if (i64_.size() < n) i64_.resize(n);
+    if (f64_.size() < n) f64_.resize(n);
+  }
+
+  size_t size() const { return size_; }
+
+  DataType tag(size_t i) const { return static_cast<DataType>(tag_[i]); }
+  bool is_null(size_t i) const { return tag_[i] == 0; }
+
+  /// Lane accessors. Preconditions: the element carries the matching tag.
+  int64_t i64(size_t i) const { return i64_[i]; }
+  double f64(size_t i) const { return f64_[i]; }
+  bool b(size_t i) const { return i64_[i] != 0; }
+  const std::string& str(size_t i) const { return str_[i]; }
+
+  /// Numeric coercion mirroring Value::ToDouble. Precondition: the
+  /// element is kInt64 or kDouble.
+  double ToDouble(size_t i) const {
+    return tag_[i] == static_cast<uint8_t>(DataType::kInt64)
+               ? static_cast<double>(i64_[i])
+               : f64_[i];
+  }
+
+  void SetNull(size_t i) { tag_[i] = static_cast<uint8_t>(DataType::kNull); }
+  void SetInt(size_t i, int64_t v) {
+    tag_[i] = static_cast<uint8_t>(DataType::kInt64);
+    i64_[i] = v;
+  }
+  void SetDouble(size_t i, double v) {
+    tag_[i] = static_cast<uint8_t>(DataType::kDouble);
+    f64_[i] = v;
+  }
+  void SetBool(size_t i, bool v) {
+    tag_[i] = static_cast<uint8_t>(DataType::kBool);
+    i64_[i] = v ? 1 : 0;
+  }
+  void SetString(size_t i, std::string v) {
+    tag_[i] = static_cast<uint8_t>(DataType::kString);
+    if (str_.size() < size_) str_.resize(size_);
+    str_[i] = std::move(v);
+  }
+
+  /// Boxes element `i` as a Value (tag-exact).
+  Value GetValue(size_t i) const;
+
+  /// Unboxes a Value into element `i` (tag-exact).
+  void SetValue(size_t i, const Value& v);
+
+  /// Copies element `j` of `from` into element `i` of this vector.
+  void CopyFrom(size_t i, const Vector& from, size_t j) {
+    switch (from.tag(j)) {
+      case DataType::kNull: SetNull(i); break;
+      case DataType::kInt64: SetInt(i, from.i64_[j]); break;
+      case DataType::kDouble: SetDouble(i, from.f64_[j]); break;
+      case DataType::kBool: SetBool(i, from.i64_[j] != 0); break;
+      case DataType::kString: SetString(i, from.str_[j]); break;
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint8_t> tag_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+};
+
+/// The set of row positions of a VectorProjection that are still alive:
+/// an ascending list of indices into the projection's vectors. Filters
+/// narrow the selection in place instead of copying surviving rows;
+/// downstream operators iterate only the selected positions. Always kept
+/// sorted ascending, so vectorized consumers visit rows in the same
+/// order the row-at-a-time path does (this is what keeps group
+/// insertion order and floating-point accumulation order identical
+/// across execution modes).
+class SelectionVector {
+ public:
+  /// Identity selection over `n` rows (0, 1, ..., n-1).
+  void InitFull(size_t n) {
+    idx_.resize(n);
+    for (size_t i = 0; i < n; ++i) idx_[i] = static_cast<uint32_t>(i);
+  }
+
+  size_t size() const { return idx_.size(); }
+  bool empty() const { return idx_.empty(); }
+  uint32_t operator[](size_t k) const { return idx_[k]; }
+
+  /// Keeps only the first `k` selected positions (LimitOp).
+  void Truncate(size_t k) {
+    if (k < idx_.size()) idx_.resize(k);
+  }
+
+  void Clear() { idx_.clear(); }
+
+  /// Direct access for in-place compaction by the vector evaluator.
+  std::vector<uint32_t>& indices() { return idx_; }
+  const std::vector<uint32_t>& indices() const { return idx_; }
+
+ private:
+  std::vector<uint32_t> idx_;
+};
+
+/// A batch of rows in columnar form: one Vector per output column, all
+/// of the same length (`num_rows`), plus a SelectionVector naming the
+/// positions that are logically present. This is the unit of exchange of
+/// the vectorized pull style (PhysicalOperator::NextVector). Producers
+/// own their projection and hand out a pointer; consumers may narrow the
+/// selection in place (filter, limit) without touching the column data.
+class VectorProjection {
+ public:
+  /// Resets to `num_columns` vectors of `num_rows` NULL cells with a
+  /// full selection. Column storage is reused across calls.
+  void Reset(size_t num_columns, size_t num_rows) {
+    columns_.resize(num_columns);
+    for (Vector& c : columns_) c.Reset(num_rows);
+    sel_.InitFull(num_rows);
+    num_rows_ = num_rows;
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  /// Physical extent of the column vectors (pre-selection).
+  size_t num_rows() const { return num_rows_; }
+  /// Logically present rows (post-selection).
+  size_t NumSelected() const { return sel_.size(); }
+
+  Vector& column(size_t c) { return columns_[c]; }
+  const Vector& column(size_t c) const { return columns_[c]; }
+
+  SelectionVector& sel() { return sel_; }
+  const SelectionVector& sel() const { return sel_; }
+
+  /// Transposes a RowBatch into columns (full selection) — the adapter
+  /// that lets any row/batch operator feed a vectorized consumer.
+  void FromBatch(size_t num_columns, const RowBatch& batch);
+
+  /// Materializes row position `pos` (not a selection slot) as a Row.
+  void MaterializeRow(size_t pos, Row* out) const;
+
+  /// Appends every selected row, in selection order, to *out — the
+  /// row-materialization adapter at blocking-operator and root
+  /// boundaries.
+  void AppendSelectedTo(std::vector<Row>* out) const;
+
+ private:
+  std::vector<Vector> columns_;
+  SelectionVector sel_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_VECTOR_H_

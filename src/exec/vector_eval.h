@@ -1,0 +1,41 @@
+#ifndef RFVIEW_EXEC_VECTOR_EVAL_H_
+#define RFVIEW_EXEC_VECTOR_EVAL_H_
+
+#include "common/status.h"
+#include "exec/vector.h"
+#include "expr/expr.h"
+
+namespace rfv {
+
+/// Columnar expression evaluator: the vectorized counterpart of
+/// expr/eval.h. Expression kind and operand types are dispatched once
+/// per vector, then tight per-element loops run over the column lanes.
+///
+/// Semantics contract: for every selected row, the evaluator computes
+/// exactly the value — and evaluates exactly the set of sub-expressions —
+/// that the row-at-a-time Evaluator would. Lazy constructs (AND/OR
+/// Kleene short-circuits, CASE branches, IN candidates, COALESCE
+/// arguments) are realized as *sub-selections*: a sub-expression is
+/// evaluated only over the rows on which the row path would evaluate it.
+/// This keeps runtime errors (division by zero, MOD by zero) reproducible
+/// across execution modes — the differential oracles depend on it. The
+/// one permitted divergence: when several rows of one vector would each
+/// raise an error, which row's message surfaces is unspecified (the row
+/// path reports the first row's).
+class VectorEvaluator {
+ public:
+  /// Evaluates `expr` over the selected rows of `proj` into *out. *out is
+  /// resized to proj.num_rows(); positions outside `sel` are NULL-tagged
+  /// and meaningless. `sel` must be ascending (SelectionVector invariant).
+  static Status Eval(const Expr& expr, const VectorProjection& proj,
+                     const SelectionVector& sel, Vector* out);
+
+  /// Narrows *sel in place to the rows where `expr` evaluates to TRUE
+  /// (NULL counts as false), mirroring Evaluator::EvalPredicate.
+  static Status EvalPredicate(const Expr& expr, const VectorProjection& proj,
+                              SelectionVector* sel);
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_EXEC_VECTOR_EVAL_H_

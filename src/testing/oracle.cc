@@ -303,23 +303,43 @@ class OracleRunner {
       }
     }
 
-    // Oracle 3: batch (vectorized) execution vs. the row-at-a-time pull
-    // loop. The serial run above used the engine default (batches), so
-    // replay with batches disabled and demand identical rows.
+    // Oracle 3: execution-mode cross-check. The serial run above used
+    // the engine default (columnar vectorized execution), so replay the
+    // same query under the two fallback modes and demand identical
+    // rows:
+    //   * "batch"  — vectorized off, RowBatch pipeline on;
+    //   * "vector" — vectorized off, batches off: the pure row-at-a-
+    //     time pull loop (the vectorized-vs-row oracle; named for the
+    //     path it vouches for).
     {
+      struct ExecModeConfig {
+        const char* label;
+        bool use_vectorized;
+        bool use_batch;
+      };
+      const ExecModeConfig modes[] = {
+          {"batch", false, true},
+          {"vector", false, false},
+      };
+      const bool saved_vectorized =
+          db_.options().exec.use_vectorized_execution;
       const bool saved_batch = db_.options().exec.use_batch_execution;
-      db_.options().exec.use_batch_execution = false;
-      Result<ResultSet> row_mode = db_.Execute(sql);
-      db_.options().exec.use_batch_execution = saved_batch;
-      if (!row_mode.ok()) {
-        RecordFailure(&verdict_, "batch", sql,
-                      row_mode.status().ToString(), round);
-      } else {
-        RecordCheck(&verdict_, "batch");
-        std::optional<std::string> diff =
-            DiffRowsCanonical(serial, *row_mode);
-        if (diff.has_value()) {
-          RecordFailure(&verdict_, "batch", sql, *diff, round);
+      for (const ExecModeConfig& mode : modes) {
+        db_.options().exec.use_vectorized_execution = mode.use_vectorized;
+        db_.options().exec.use_batch_execution = mode.use_batch;
+        Result<ResultSet> replay = db_.Execute(sql);
+        db_.options().exec.use_vectorized_execution = saved_vectorized;
+        db_.options().exec.use_batch_execution = saved_batch;
+        if (!replay.ok()) {
+          RecordFailure(&verdict_, mode.label, sql,
+                        replay.status().ToString(), round);
+        } else {
+          RecordCheck(&verdict_, mode.label);
+          std::optional<std::string> diff =
+              DiffRowsCanonical(serial, *replay);
+          if (diff.has_value()) {
+            RecordFailure(&verdict_, mode.label, sql, *diff, round);
+          }
         }
       }
     }

@@ -2,8 +2,10 @@
 // to continue after any DML hits the table — reallocating the row
 // vector under a live cursor is a use-after-free in waiting, and
 // half-old/half-new result sets are silent corruption. These tests pin
-// the refusal for both pull styles (row and batch) and make sure
-// epoch bumps come only from DML, not from ANALYZE-style maintenance.
+// the refusal for all three pull styles (row, batch, vector) — including
+// mutations landing *between* pulls of a multi-batch scan — and make
+// sure epoch bumps come only from DML, not from ANALYZE-style
+// maintenance.
 
 #include <gtest/gtest.h>
 
@@ -91,6 +93,73 @@ TEST_F(ScanEpochTest, ReopenAfterMutationSucceeds) {
     ++rows;
   }
   EXPECT_EQ(rows, 4u);
+}
+
+// Mid-stream aborts: a table larger than one batch/vector (1024 rows)
+// forces a second pull, and DML landing between pulls must fail that
+// pull — not just the first one (the guard re-checks on every call, not
+// only at Open).
+
+class ScanEpochMidStreamTest : public ScanEpochTest {
+ protected:
+  void SetUp() override {
+    ScanEpochTest::SetUp();
+    for (int64_t i = 4; i <= 1500; ++i) {
+      ASSERT_TRUE(
+          table_->Insert(Row({Value::Int(i), Value::Int(i * 10)})).ok());
+    }
+  }
+};
+
+TEST_F(ScanEpochMidStreamTest, InsertBetweenBatchesFailsSecondBatch) {
+  TableScanOp scan(table_->schema(), table_);
+  ASSERT_TRUE(scan.Open().ok());
+  RowBatch batch;
+  bool eof = false;
+  ASSERT_TRUE(scan.NextBatch(&batch, &eof).ok());
+  ASSERT_EQ(batch.size(), RowBatch::kDefaultCapacity);
+  ASSERT_FALSE(eof);
+
+  ASSERT_TRUE(
+      table_->Insert(Row({Value::Int(9999), Value::Int(0)})).ok());
+
+  const Status s = scan.NextBatch(&batch, &eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.ToString().find("mutated"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(ScanEpochMidStreamTest, InsertBetweenVectorsFailsSecondVector) {
+  TableScanOp scan(table_->schema(), table_);
+  ASSERT_TRUE(scan.Open().ok());
+  VectorProjection* vp = nullptr;
+  bool eof = false;
+  ASSERT_TRUE(scan.NextVector(&vp, &eof).ok());
+  ASSERT_NE(vp, nullptr);
+  ASSERT_EQ(vp->NumSelected(), RowBatch::kDefaultCapacity);
+  ASSERT_FALSE(eof);
+
+  ASSERT_TRUE(table_->DeleteRow(0).ok());
+
+  const Status s = scan.NextVector(&vp, &eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.ToString().find("mutated"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(ScanEpochTest, DeleteUnderOpenScanFailsFirstVector) {
+  // Vector counterpart of the batch test above: mutation lands before
+  // the *first* vector is pulled.
+  TableScanOp scan(table_->schema(), table_);
+  ASSERT_TRUE(scan.Open().ok());
+  ASSERT_TRUE(table_->DeleteRow(0).ok());
+  VectorProjection* vp = nullptr;
+  bool eof = false;
+  const Status s = scan.NextVector(&vp, &eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
 }
 
 TEST_F(ScanEpochTest, AnalyzeDoesNotBumpEpoch) {

@@ -1,0 +1,318 @@
+// Execution-contract tests for the batch and vector pull styles, pinned
+// after the PR that fixed two batch-path bugs:
+//
+//  1. EOF contract: the final batch/vector of a stream may be non-empty
+//     AND carry *eof = true (LimitOp truncating mid-batch, UnionAllOp's
+//     last child, TableScanOp's final partial batch). Consumers must
+//     drain first and test eof second — these tests verify producers
+//     really emit that shape and that drains never drop the final rows.
+//  2. RowBatch::Push past capacity_ used to grow the batch silently;
+//     it now aborts (death test below).
+//
+// Also covered: limit hit mid-batch, UNION ALL over interleaved empty
+// children, capacity-1 batches, and row/batch/vector mode equivalence
+// over a small query suite.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "expr/builder.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::MustExecute;
+
+class ExecContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(db_, "CREATE TABLE t5 (a INTEGER)");
+    MustExecute(db_, "INSERT INTO t5 VALUES (1), (2), (3), (4), (5)");
+    MustExecute(db_, "CREATE TABLE empty1 (a INTEGER)");
+    MustExecute(db_, "CREATE TABLE empty2 (a INTEGER)");
+    MustExecute(db_, "CREATE TABLE empty3 (a INTEGER)");
+    MustExecute(db_, "CREATE TABLE t2 (a INTEGER)");
+    MustExecute(db_, "INSERT INTO t2 VALUES (10), (11)");
+  }
+
+  Table* GetTable(const std::string& name) {
+    Result<Table*> t = db_.catalog()->GetTable(name);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? *t : nullptr;
+  }
+
+  PhysicalOperatorPtr Scan(const std::string& name) {
+    Table* table = GetTable(name);
+    return std::make_unique<TableScanOp>(table->schema(), table);
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------
+// EOF contract: non-empty final batch/vector with *eof = true.
+// ---------------------------------------------------------------------
+
+TEST_F(ExecContractTest, ScanFinalBatchIsNonEmptyWithEof) {
+  PhysicalOperatorPtr scan = Scan("t5");
+  ASSERT_TRUE(scan->Open().ok());
+  RowBatch batch;
+  bool eof = false;
+  ASSERT_TRUE(scan->NextBatch(&batch, &eof).ok());
+  // 5 rows fit one batch: the producer reports them AND eof together.
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(ExecContractTest, LimitTruncatesMidBatchAndCarriesEof) {
+  auto limit = std::make_unique<LimitOp>(GetTable("t5")->schema(),
+                                         Scan("t5"), /*limit=*/3);
+  ASSERT_TRUE(limit->Open().ok());
+  RowBatch batch;
+  bool eof = false;
+  ASSERT_TRUE(limit->NextBatch(&batch, &eof).ok());
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(batch.row(2)[0], Value::Int(3));
+
+  // Post-eof pulls are safe: the shell's latch answers empty + eof
+  // without re-entering the operator.
+  ASSERT_TRUE(limit->NextBatch(&batch, &eof).ok());
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(ExecContractTest, LimitVectorTruncatesSelectionAndCarriesEof) {
+  auto limit = std::make_unique<LimitOp>(GetTable("t5")->schema(),
+                                         Scan("t5"), /*limit=*/3);
+  ASSERT_TRUE(limit->Open().ok());
+  VectorProjection* vp = nullptr;
+  bool eof = false;
+  ASSERT_TRUE(limit->NextVector(&vp, &eof).ok());
+  ASSERT_NE(vp, nullptr);
+  EXPECT_EQ(vp->NumSelected(), 3u);
+  EXPECT_TRUE(eof);
+  // The physical vector still holds all 5 scanned rows; only the
+  // selection was narrowed.
+  EXPECT_EQ(vp->num_rows(), 5u);
+
+  ASSERT_TRUE(limit->NextVector(&vp, &eof).ok());
+  EXPECT_EQ(vp, nullptr);
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(ExecContractTest, DrainChildKeepsFinalBatchRows) {
+  // The regression this PR's audit was for: a consumer that tested eof
+  // before draining would lose the truncated final batch entirely.
+  auto limit = std::make_unique<LimitOp>(GetTable("t5")->schema(),
+                                         Scan("t5"), /*limit=*/4);
+  ASSERT_TRUE(limit->Open().ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE(DrainChild(limit.get(), &rows).ok());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[3][0], Value::Int(4));
+}
+
+// ---------------------------------------------------------------------
+// UNION ALL with empty children interleaved among non-empty ones.
+// ---------------------------------------------------------------------
+
+class UnionModesTest : public ExecContractTest {
+ protected:
+  PhysicalOperatorPtr MakeUnion() {
+    std::vector<PhysicalOperatorPtr> children;
+    children.push_back(Scan("empty1"));
+    children.push_back(Scan("t5"));
+    children.push_back(Scan("empty2"));
+    children.push_back(Scan("t2"));
+    children.push_back(Scan("empty3"));
+    return std::make_unique<UnionAllOp>(GetTable("t5")->schema(),
+                                        std::move(children));
+  }
+
+  void ExpectAllRows(const std::vector<Row>& rows) {
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows[0][0], Value::Int(1));
+    EXPECT_EQ(rows[4][0], Value::Int(5));
+    EXPECT_EQ(rows[5][0], Value::Int(10));
+    EXPECT_EQ(rows[6][0], Value::Int(11));
+  }
+};
+
+TEST_F(UnionModesTest, RowPath) {
+  PhysicalOperatorPtr u = MakeUnion();
+  Result<std::vector<Row>> rows = ExecuteToVector(u.get(), false);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectAllRows(*rows);
+}
+
+TEST_F(UnionModesTest, BatchPath) {
+  PhysicalOperatorPtr u = MakeUnion();
+  Result<std::vector<Row>> rows = ExecuteToVector(u.get(), true);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectAllRows(*rows);
+}
+
+TEST_F(UnionModesTest, VectorPath) {
+  PhysicalOperatorPtr u = MakeUnion();
+  u->SetVectorized(true);
+  Result<std::vector<Row>> rows = ExecuteToVector(u.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectAllRows(*rows);
+}
+
+TEST_F(UnionModesTest, VectorPathSkipsEmptyChildrenWithinOneCall) {
+  PhysicalOperatorPtr u = MakeUnion();
+  ASSERT_TRUE(u->Open().ok());
+  VectorProjection* vp = nullptr;
+  bool eof = false;
+  // First call: skips empty1, yields t5's rows.
+  ASSERT_TRUE(u->NextVector(&vp, &eof).ok());
+  ASSERT_NE(vp, nullptr);
+  EXPECT_EQ(vp->NumSelected(), 5u);
+  EXPECT_FALSE(eof);
+  // Second call: skips empty2, yields t2's rows; empty3 still pending,
+  // so eof may only be reported once it is drained too.
+  ASSERT_TRUE(u->NextVector(&vp, &eof).ok());
+  ASSERT_NE(vp, nullptr);
+  EXPECT_EQ(vp->NumSelected(), 2u);
+  if (!eof) {
+    ASSERT_TRUE(u->NextVector(&vp, &eof).ok());
+    EXPECT_TRUE(vp == nullptr || vp->NumSelected() == 0);
+    EXPECT_TRUE(eof);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Capacity-1 batches: the smallest legal batch still makes progress and
+// honors the EOF contract.
+// ---------------------------------------------------------------------
+
+TEST_F(ExecContractTest, CapacityOneBatchesDrainEverything) {
+  auto filter = std::make_unique<FilterOp>(
+      GetTable("t5")->schema(), Scan("t5"),
+      eb::Gt(eb::Col(0, DataType::kInt64), eb::Int(1)));
+  ASSERT_TRUE(filter->Open().ok());
+  RowBatch batch(1);
+  std::vector<Row> rows;
+  bool eof = false;
+  while (true) {
+    ASSERT_TRUE(filter->NextBatch(&batch, &eof).ok());
+    for (size_t i = 0; i < batch.size(); ++i) rows.push_back(batch.row(i));
+    if (eof) break;
+  }
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], Value::Int(2));
+  EXPECT_EQ(rows[3][0], Value::Int(5));
+}
+
+// ---------------------------------------------------------------------
+// RowBatch capacity is a hard bound (used to grow silently).
+// ---------------------------------------------------------------------
+
+#if GTEST_HAS_DEATH_TEST
+TEST(RowBatchDeathTest, PushPastCapacityAborts) {
+  RowBatch batch(2);
+  batch.Push(Row({Value::Int(1)}));
+  batch.Push(Row({Value::Int(2)}));
+  EXPECT_DEATH(batch.Push(Row({Value::Int(3)})), "past capacity");
+}
+#endif
+
+TEST(RowBatchTest, ZeroCapacityClampsToOne) {
+  RowBatch batch(0);
+  EXPECT_EQ(batch.capacity(), 1u);
+  batch.Push(Row({Value::Int(1)}));
+  EXPECT_TRUE(batch.full());
+}
+
+// ---------------------------------------------------------------------
+// The three execution modes agree on a small SQL suite (end to end,
+// including plans that mix vector-native and row-only operators).
+// ---------------------------------------------------------------------
+
+class ExecModesSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(db_, "CREATE TABLE t (a INTEGER, b DOUBLE, s VARCHAR)");
+    MustExecute(db_,
+                "INSERT INTO t VALUES (1, 10.0, 'x'), (2, 20.0, 'y'), "
+                "(3, NULL, 'x'), (4, 40.0, NULL), (2, 25.0, 'z'), "
+                "(6, 5.5, 'x'), (7, NULL, 'y')");
+  }
+
+  // Runs `sql` under (vectorized, batch, row) modes and checks they
+  // produce identical rows in identical order.
+  void ExpectModesAgree(const std::string& sql) {
+    db_.options().exec.use_vectorized_execution = true;
+    db_.options().exec.use_batch_execution = true;
+    const ResultSet vec = MustExecute(db_, sql);
+    db_.options().exec.use_vectorized_execution = false;
+    const ResultSet batch = MustExecute(db_, sql);
+    db_.options().exec.use_batch_execution = false;
+    const ResultSet row = MustExecute(db_, sql);
+    db_.options().exec.use_vectorized_execution = true;
+    db_.options().exec.use_batch_execution = true;
+    EXPECT_TRUE(testutil::RowsEqual(vec, batch)) << sql;
+    EXPECT_TRUE(testutil::RowsEqual(vec, row)) << sql;
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecModesSqlTest, FilterProjectExpressions) {
+  ExpectModesAgree(
+      "SELECT a, CASE WHEN a > 2 THEN 100 / a ELSE 0 - a END FROM t "
+      "WHERE a BETWEEN 1 AND 6");
+  ExpectModesAgree(
+      "SELECT a, COALESCE(b, 0.0), MOD(a, 3) FROM t WHERE b > 0 OR s = 'y'");
+  ExpectModesAgree("SELECT a FROM t WHERE a IN (2, 4, 9)");
+}
+
+TEST_F(ExecModesSqlTest, AllRowsFilteredOut) {
+  ExpectModesAgree("SELECT a FROM t WHERE a > 1000");
+  ExpectModesAgree("SELECT a FROM t WHERE b IS NULL AND b IS NOT NULL");
+}
+
+TEST_F(ExecModesSqlTest, GroupByAndAggregates) {
+  ExpectModesAgree(
+      "SELECT s, COUNT(*), SUM(a), AVG(b), MIN(b), MAX(a) FROM t GROUP BY s "
+      "ORDER BY s");
+  // Single-int-key grouping exercises the aggregate's int64 fast path;
+  // grouping by a double expression forces the migration to Value keys.
+  ExpectModesAgree("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a");
+  ExpectModesAgree("SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b");
+}
+
+TEST_F(ExecModesSqlTest, LimitAndUnion) {
+  ExpectModesAgree("SELECT a FROM t ORDER BY a LIMIT 3");
+  ExpectModesAgree("SELECT a FROM t LIMIT 0");
+  ExpectModesAgree(
+      "SELECT a FROM t WHERE a < 3 UNION ALL SELECT a FROM t WHERE a > 100 "
+      "UNION ALL SELECT a FROM t WHERE a > 5");
+}
+
+TEST_F(ExecModesSqlTest, ErrorsAgreeAcrossModes) {
+  const std::string sql = "SELECT 1 / (a - a) FROM t";
+  db_.options().exec.use_vectorized_execution = true;
+  Result<ResultSet> vec = db_.Execute(sql);
+  db_.options().exec.use_vectorized_execution = false;
+  Result<ResultSet> batch = db_.Execute(sql);
+  db_.options().exec.use_batch_execution = false;
+  Result<ResultSet> row = db_.Execute(sql);
+  ASSERT_FALSE(vec.ok());
+  ASSERT_FALSE(batch.ok());
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(vec.status().ToString(), row.status().ToString());
+  EXPECT_EQ(batch.status().ToString(), row.status().ToString());
+}
+
+}  // namespace
+}  // namespace rfv

@@ -118,6 +118,7 @@ TEST(BandJoinScenarioTest, MinimizedScenarioPassesAllOracles) {
   const ScenarioVerdict verdict = RunScenario(s);
   EXPECT_TRUE(verdict.ok()) << verdict.Summary();
   EXPECT_GT(verdict.checks.count("batch"), 0u) << verdict.Summary();
+  EXPECT_GT(verdict.checks.count("vector"), 0u) << verdict.Summary();
   EXPECT_GT(verdict.checks.count("band"), 0u) << verdict.Summary();
 }
 
