@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_reporter.h"
+
 #include <vector>
 
 #include "db/database.h"
@@ -135,3 +137,5 @@ BENCHMARK(BM_Maintenance_ViewFullRefresh)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace rfv
+
+BENCH_MAIN_WITH_JSON()

@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_reporter.h"
+
 #include <cstdlib>
 #include <string>
 
@@ -98,3 +100,5 @@ BENCHMARK(BM_Table1_SelfJoin_WithIndex)
 }  // namespace
 }  // namespace bench
 }  // namespace rfv
+
+BENCH_MAIN_WITH_JSON()

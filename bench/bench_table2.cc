@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_reporter.h"
+
 #include "workload.h"
 
 namespace rfv {
@@ -73,3 +75,5 @@ BENCHMARK(BM_Table2_MinOA_Union)->Apply(Table2Sizes);
 }  // namespace
 }  // namespace bench
 }  // namespace rfv
+
+BENCH_MAIN_WITH_JSON()

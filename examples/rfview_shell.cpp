@@ -15,6 +15,7 @@
 // Statements may span lines; a trailing ';' executes.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -48,6 +49,11 @@ void PrintHelp() {
       "  \\trace on|off    record query-lifecycle traces\n"
       "  \\trace show      spans of the most recent traced query\n"
       "  \\trace export <file>         last trace as Chrome trace JSON\n"
+      "  \\trace ring <n>  retired-trace ring capacity\n"
+      "  \\workload [export <file>]    captured query events as JSONL\n"
+      "                   (also queryable: SELECT ... FROM\n"
+      "                   rfv_system.queries / operators / metrics /\n"
+      "                   views / table_stats / trace_spans)\n"
       "  \\log debug|info|warn|error   stderr log threshold\n"
       "  \\quit            exit\n"
       "any other input: SQL, terminated by ';'\n"
@@ -139,6 +145,43 @@ bool HandleMeta(rfv::Database& db, const std::string& line) {
     } else if (WriteFileOrComplain(path, trace->ToChromeJson())) {
       std::printf("trace %lld written to %s (load in chrome://tracing)\n",
                   static_cast<long long>(trace->id()), path.c_str());
+    }
+  } else if (lower.rfind("\\trace ring", 0) == 0) {
+    std::string arg = line.substr(std::string("\\trace ring").size());
+    const size_t first = arg.find_first_not_of(" \t");
+    arg = first == std::string::npos ? "" : arg.substr(first);
+    const size_t last = arg.find_last_not_of(" \t");
+    if (last != std::string::npos) arg = arg.substr(0, last + 1);
+    if (arg.empty()) {
+      std::printf("trace ring capacity: %zu\n",
+                  rfv::Tracer::Global().ring_capacity());
+    } else {
+      char* end = nullptr;
+      const long n = std::strtol(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) {
+        std::printf("usage: \\trace ring <n>\n");
+      } else {
+        rfv::Tracer::Global().SetRingCapacity(static_cast<size_t>(n));
+        std::printf("trace ring capacity: %zu\n",
+                    rfv::Tracer::Global().ring_capacity());
+      }
+    }
+  } else if (lower == "\\workload") {
+    const std::string jsonl = db.WorkloadJsonl();
+    if (jsonl.empty()) {
+      std::printf("(no queries captured yet)\n");
+    } else {
+      std::printf("%s", jsonl.c_str());
+    }
+  } else if (lower.rfind("\\workload export ", 0) == 0) {
+    const std::string path =
+        line.substr(std::string("\\workload export ").size());
+    const rfv::Status s = db.ExportWorkload(path);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("%zu events written to %s\n", db.query_log()->size(),
+                  path.c_str());
     }
   } else if (lower == "\\log debug") {
     rfv::SetLogLevel(rfv::LogLevel::kDebug);

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates a captured-workload JSONL file (CI smoke check).
+
+The file is `\\workload export` / `Database::ExportWorkload` output: one
+JSON object per line, one line per Execute() call. Checks the schema the
+view advisor consumes — fingerprint, per-phase timings, the rewrite
+decision record (decision/view/cost_estimate/candidates), row counts and
+operator metrics — plus cross-field consistency (a non-"none" decision
+names a view and a chosen candidate; SELECT events carry phase timings).
+Exits non-zero with a line-numbered message on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "query_id": int,
+    "kind": str,
+    "status": str,
+    "error": str,
+    "sql": str,
+    "fingerprint": str,
+    "duration_ms": (int, float),
+    "phases": dict,
+    "rows_in": int,
+    "rows_out": int,
+    "rewrite": dict,
+    "operators": list,
+}
+REWRITE_REQUIRED = {
+    "decision": str,
+    "view": str,
+    "cost_estimate": (int, float, type(None)),
+    "candidates": list,
+}
+CANDIDATE_REQUIRED = {
+    "view": str,
+    "derivable": bool,
+    "method": str,
+    "chosen": bool,
+    "cost": (int, float, type(None)),
+}
+OPERATOR_REQUIRED = {
+    "op": str,
+    "depth": int,
+    "rows_in": int,
+    "rows_out": int,
+    "next_calls": int,
+    "open_ms": (int, float),
+    "next_ms": (int, float),
+}
+
+
+def fail(lineno, why):
+    sys.exit(f"{sys.argv[1]}:{lineno}: {why}")
+
+
+def check_fields(lineno, obj, spec, where):
+    for key, types in spec.items():
+        if key not in obj:
+            fail(lineno, f"{where} missing field {key!r}")
+        if not isinstance(obj[key], types):
+            fail(
+                lineno,
+                f"{where}.{key} has type {type(obj[key]).__name__}, "
+                f"expected {types}",
+            )
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <workload.jsonl>")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        sys.exit(f"{sys.argv[1]}: empty workload")
+
+    rewrites = 0
+    selects = 0
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(lineno, f"not valid JSON: {e}")
+        check_fields(lineno, event, REQUIRED, "event")
+        if not event["fingerprint"]:
+            fail(lineno, "empty fingerprint")
+        if event["status"] == "ok" and event["error"]:
+            fail(lineno, "ok status with non-empty error")
+        for phase, ms in event["phases"].items():
+            if not isinstance(ms, (int, float)) or ms < 0:
+                fail(lineno, f"phase {phase!r} has bad duration {ms!r}")
+
+        rewrite = event["rewrite"]
+        check_fields(lineno, rewrite, REWRITE_REQUIRED, "rewrite")
+        for cand in rewrite["candidates"]:
+            check_fields(lineno, cand, CANDIDATE_REQUIRED, "candidate")
+        if rewrite["decision"] != "none":
+            rewrites += 1
+            if not rewrite["view"]:
+                fail(lineno, "rewrite decision without a view name")
+            # Forced-method / static-order paths legitimately record no
+            # per-candidate verdicts; when verdicts exist one is chosen.
+            if rewrite["candidates"] and not any(
+                c["chosen"] for c in rewrite["candidates"]
+            ):
+                fail(lineno, "rewrite decision without a chosen candidate")
+        for op in event["operators"]:
+            check_fields(lineno, op, OPERATOR_REQUIRED, "operator")
+
+        if event["kind"] == "select" and event["status"] == "ok":
+            selects += 1
+            if "execute" not in event["phases"]:
+                fail(lineno, "ok select without an execute phase")
+
+    if selects == 0:
+        sys.exit(f"{sys.argv[1]}: no successful SELECT events captured")
+    print(
+        f"ok: {len(lines)} events ({selects} selects, "
+        f"{rewrites} rewritten)"
+    )
+
+
+if __name__ == "__main__":
+    main()

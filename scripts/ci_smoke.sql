@@ -5,6 +5,14 @@ CREATE MATERIALIZED VIEW matseq AS SELECT pos, SUM(val) OVER (ORDER BY pos ROWS 
 EXPLAIN ANALYZE SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) FROM seq ORDER BY pos;
 EXPLAIN UPDATE seq SET val = 0 WHERE pos = 3;
 EXPLAIN ANALYZE DELETE FROM seq WHERE pos = 8;
+SELECT query_id, kind, status, rows_out FROM rfv_system.queries ORDER BY query_id;
+SELECT query_id, duration_ms, RANK() OVER (ORDER BY duration_ms DESC) FROM rfv_system.queries;
+SELECT op, rows_out FROM rfv_system.operators WHERE op = 'scan';
+SELECT name, kind, count FROM rfv_system.metrics WHERE name = 'rfv_queries_executed_total';
+SELECT view_name, base_table, fn, n, full_refreshes FROM rfv_system.views;
+SELECT table_name, column_name, row_count FROM rfv_system.table_stats WHERE table_name = 'seq';
+SELECT name, COUNT(*) FROM rfv_system.trace_spans GROUP BY name ORDER BY name;
+\workload export ci_workload.jsonl
 \trace export ci_trace.json
 \metrics save ci_metrics.prom
 .metrics

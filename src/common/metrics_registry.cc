@@ -1,5 +1,6 @@
 #include "common/metrics_registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -119,8 +120,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Merge the two per-kind maps into one family stream sorted globally
+  // by name (both maps are already name-sorted; instances label-sorted),
+  // so the exposition is byte-stable across scrapes and diffs cleanly.
   std::string out;
-  for (const auto& [name, family] : counters_) {
+  auto counter_it = counters_.begin();
+  auto histogram_it = histograms_.begin();
+  const auto emit_counter = [&out](const std::string& name,
+                                   const CounterFamily& family) {
     if (!family.help.empty()) {
       out += "# HELP " + name + " " + family.help + "\n";
     }
@@ -128,8 +135,9 @@ std::string MetricsRegistry::ToPrometheusText() const {
     for (const auto& [labels, counter] : family.instances) {
       out += name + labels + " " + std::to_string(counter->value()) + "\n";
     }
-  }
-  for (const auto& [name, family] : histograms_) {
+  };
+  const auto emit_histogram = [&out](const std::string& name,
+                                     const HistogramFamily& family) {
     if (!family.help.empty()) {
       out += "# HELP " + name + " " + family.help + "\n";
     }
@@ -152,7 +160,54 @@ std::string MetricsRegistry::ToPrometheusText() const {
       out += name + "_count" + labels + " " +
              std::to_string(histogram->count()) + "\n";
     }
+  };
+  while (counter_it != counters_.end() || histogram_it != histograms_.end()) {
+    const bool take_counter =
+        histogram_it == histograms_.end() ||
+        (counter_it != counters_.end() &&
+         counter_it->first < histogram_it->first);
+    if (take_counter) {
+      emit_counter(counter_it->first, counter_it->second);
+      ++counter_it;
+    } else {
+      emit_histogram(histogram_it->first, histogram_it->second);
+      ++histogram_it;
+    }
   }
+  return out;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, counter] : family.instances) {
+      MetricSnapshot s;
+      s.name = name;
+      s.labels = labels;
+      s.kind = MetricSnapshot::Kind::kCounter;
+      s.count = counter->value();
+      s.help = family.help;
+      out.push_back(std::move(s));
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [labels, histogram] : family.instances) {
+      MetricSnapshot s;
+      s.name = name;
+      s.labels = labels;
+      s.kind = MetricSnapshot::Kind::kHistogram;
+      s.count = histogram->count();
+      s.sum_seconds = histogram->sum();
+      s.help = family.help;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
   return out;
 }
 

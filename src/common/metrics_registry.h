@@ -68,6 +68,24 @@ class Histogram {
 /// Label set of one metric instance, e.g. {{"method", "maxoa"}}.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// One metric instance captured by MetricsRegistry::Snapshot() — the
+/// structured (non-text) view of the registry that feeds the
+/// `rfv_system.metrics` introspection view. Counters carry their total
+/// in `count`; histograms carry observation count and sum-of-seconds.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kHistogram };
+
+  std::string name;
+  /// Rendered label set, `{k="v",...}`; empty for label-free instances.
+  std::string labels;
+  Kind kind = Kind::kCounter;
+  /// Counter value, or histogram observation count.
+  int64_t count = 0;
+  /// Histogram sum in seconds; 0 for counters.
+  double sum_seconds = 0;
+  std::string help;
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -87,8 +105,15 @@ class MetricsRegistry {
                           const MetricLabels& labels = {},
                           const std::string& help = "");
 
-  /// Prometheus text exposition of every registered family.
+  /// Prometheus text exposition of every registered family, sorted
+  /// globally by family name (counters and histograms interleaved) and
+  /// by label string within a family, so consecutive scrapes diff
+  /// stably in CI and tests.
   std::string ToPrometheusText() const;
+
+  /// Structured snapshot of every instance, sorted by (name, labels) —
+  /// the typed alternative to scraping ToPrometheusText().
+  std::vector<MetricSnapshot> Snapshot() const;
 
   /// Zeroes nothing but forgets all families — test isolation only.
   /// Pointers handed out earlier keep working (instances are leaked).

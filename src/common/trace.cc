@@ -5,6 +5,8 @@
 #include <functional>
 #include <thread>
 
+#include "common/metrics_registry.h"
+
 namespace rfv {
 
 namespace {
@@ -134,10 +136,22 @@ void Tracer::Retire(std::shared_ptr<QueryTrace> trace) {
   if (trace == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
   retired_.push_back(std::move(trace));
-  if (retired_.size() > kMaxRetired) {
-    retired_.erase(retired_.begin(),
-                   retired_.begin() + (retired_.size() - kMaxRetired));
+  EvictLocked();
+}
+
+void Tracer::EvictLocked() {
+  if (retired_.size() <= capacity_) return;
+  static Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "rfv_trace_spans_dropped_total", {},
+      "Spans of traces evicted from the retired-trace ring");
+  const size_t surplus = retired_.size() - capacity_;
+  int64_t dropped_spans = 0;
+  for (size_t i = 0; i < surplus; ++i) {
+    dropped_spans += static_cast<int64_t>(retired_[i]->events().size());
   }
+  dropped->Increment(dropped_spans);
+  retired_.erase(retired_.begin(),
+                 retired_.begin() + static_cast<ptrdiff_t>(surplus));
 }
 
 std::shared_ptr<QueryTrace> Tracer::Find(int64_t id) const {
@@ -151,6 +165,22 @@ std::shared_ptr<QueryTrace> Tracer::Find(int64_t id) const {
 std::shared_ptr<QueryTrace> Tracer::Latest() const {
   std::lock_guard<std::mutex> lock(mu_);
   return retired_.empty() ? nullptr : retired_.back();
+}
+
+std::vector<std::shared_ptr<QueryTrace>> Tracer::Retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
+}
+
+void Tracer::SetRingCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  EvictLocked();
+}
+
+size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 // --- ambient attachment & spans ---------------------------------------------

@@ -93,8 +93,9 @@ class Tracer {
   /// Starts a new trace with a fresh query id.
   std::shared_ptr<QueryTrace> StartQuery();
 
-  /// Files a finished trace into the ring (evicting the oldest beyond
-  /// kMaxRetired).
+  /// Files a finished trace into the ring. Evicting the oldest beyond
+  /// ring_capacity() counts the evicted spans into the
+  /// `rfv_trace_spans_dropped_total` metric, so overflow is visible.
   void Retire(std::shared_ptr<QueryTrace> trace);
 
   /// Retired trace by query id; nullptr when evicted/unknown.
@@ -103,12 +104,27 @@ class Tracer {
   /// Most recently retired trace; nullptr when none.
   std::shared_ptr<QueryTrace> Latest() const;
 
-  static constexpr size_t kMaxRetired = 32;
+  /// Snapshot of the retired ring, oldest first (feeds the
+  /// `rfv_system.trace_spans` introspection view).
+  std::vector<std::shared_ptr<QueryTrace>> Retired() const;
+
+  /// Retired-ring capacity knob (shell `\trace ring <n>`). Shrinking
+  /// evicts (and counts as dropped) the oldest surplus immediately;
+  /// a capacity of 0 clamps to 1.
+  void SetRingCapacity(size_t capacity);
+  size_t ring_capacity() const;
+
+  static constexpr size_t kDefaultRingCapacity = 32;
 
  private:
   Tracer() = default;
+
+  /// Drops over-capacity traces, counting their spans. Caller holds mu_.
+  void EvictLocked();
+
   mutable std::mutex mu_;
   int64_t next_id_ = 1;
+  size_t capacity_ = kDefaultRingCapacity;
   std::vector<std::shared_ptr<QueryTrace>> retired_;
 };
 

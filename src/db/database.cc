@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -162,10 +163,62 @@ Result<DmlScanChoice> ChooseDmlScan(Table* table, const Expr* where) {
   return choice;
 }
 
+const char* StatementKindName(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: return "select";
+    case Statement::Kind::kCreateTable: return "create_table";
+    case Statement::Kind::kCreateIndex: return "create_index";
+    case Statement::Kind::kInsert: return "insert";
+    case Statement::Kind::kUpdate: return "update";
+    case Statement::Kind::kDelete: return "delete";
+    case Statement::Kind::kCreateView: return "create_view";
+    case Statement::Kind::kDropTable: return "drop_table";
+    case Statement::Kind::kAnalyze: return "analyze";
+    case Statement::Kind::kExplain: return "explain";
+  }
+  return "unknown";
+}
+
+/// Finalizes the workload record of one Execute call from its result.
+void FillEventFromResult(const ResultSet& rs, QueryEvent* event) {
+  event->phase_ns = rs.phase_ns();
+  event->rows_out = rs.is_query() ? static_cast<int64_t>(rs.NumRows())
+                                  : std::max<int64_t>(rs.affected(), 0);
+  for (const OperatorMetricsEntry& entry : rs.metrics()) {
+    if (entry.name == "scan") event->rows_in += entry.metrics.rows_out;
+    QueryEventOperator op;
+    op.op = entry.name;
+    op.depth = entry.depth;
+    op.rows_in = entry.rows_in;
+    op.rows_out = entry.metrics.rows_out;
+    op.next_calls = entry.metrics.next_calls;
+    op.batches_out = entry.metrics.batches_out;
+    op.open_ms = static_cast<double>(entry.metrics.open_ns) / 1e6;
+    op.next_ms = static_cast<double>(entry.metrics.next_ns) / 1e6;
+    op.peak_buffered_rows = entry.metrics.peak_buffered_rows;
+    event->operators.push_back(std::move(op));
+  }
+  if (!rs.rewrite_method().empty()) {
+    event->rewrite = rs.rewrite_method();
+    event->rewrite_view = rs.rewrite_view();
+  }
+}
+
 }  // namespace
 
 std::string Database::MetricsText() {
   return MetricsRegistry::Global().ToPrometheusText();
+}
+
+Status Database::ExportWorkload(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << query_log_.ToJsonl();
+  out.close();
+  if (!out) return Status::ExecutionError("failed writing " + path);
+  return Status::OK();
 }
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
@@ -187,6 +240,13 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
     attach.emplace(trace.get());
   }
 
+  QueryEvent event;
+  event.query_id = next_query_id_++;
+  event.sql = sql;
+  event.fingerprint = NormalizeFingerprint(sql);
+  QueryEvent* const previous_event = active_event_;
+  active_event_ = &event;
+
   Result<ResultSet> result = [&]() -> Result<ResultSet> {
     TraceSpan query_span("query");
     if (query_span.active()) query_span.AddArg("sql", sql);
@@ -198,6 +258,7 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
       RFV_ASSIGN_OR_RETURN(stmt, Parser::ParseStatement(sql));
       parse_ns = ElapsedNs(parse_start);
     }
+    event.kind = StatementKindName(stmt);
     Result<ResultSet> r = ExecuteStatement(stmt);
     if (r.ok()) {
       std::vector<std::pair<std::string, int64_t>> phases;
@@ -207,6 +268,7 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
     }
     return r;
   }();
+  active_event_ = previous_event;
 
   queries->Increment();
   if (!result.ok()) {
@@ -219,6 +281,17 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
     if (result.ok()) result->SetTrace(trace);
     Tracer::Global().Retire(std::move(trace));
   }
+
+  event.duration_ns = ElapsedNs(started);
+  if (result.ok()) {
+    event.status = "ok";
+    FillEventFromResult(*result, &event);
+  } else {
+    if (event.kind.empty()) event.kind = "error";
+    event.status = StatusCodeName(result.status().code());
+    event.error = result.status().message();
+  }
+  query_log_.Append(std::move(event));
   return result;
 }
 
@@ -422,10 +495,30 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     rewrite_options.force_method = options_.force_method;
     rewrite_options.use_cost_model = options_.use_cost_model;
     const SteadyClock::time_point rewrite_start = SteadyClock::now();
+    RewriteDecision decision;
     std::optional<RewriteResult> rewrite;
-    RFV_ASSIGN_OR_RETURN(rewrite,
-                         rewriter_.TryRewrite(stmt, rewrite_options));
+    RFV_ASSIGN_OR_RETURN(
+        rewrite, rewriter_.TryRewrite(stmt, rewrite_options, &decision));
     const int64_t rewrite_ns = ElapsedNs(rewrite_start);
+    // Record every (view, method) verdict into the workload event — the
+    // advisor's evidence of what the rewriter considered and why. Only
+    // the outermost recognizable query fills it (EXPLAIN ANALYZE and
+    // CREATE VIEW reach here through the same active event).
+    if (active_event_ != nullptr && active_event_->candidates.empty()) {
+      for (const CandidateVerdict& v : decision.verdicts) {
+        QueryEventCandidate c;
+        c.view = v.view_name;
+        c.derivable = v.derivable;
+        if (v.derivable) c.method = DerivationMethodName(v.method);
+        c.chosen = v.chosen;
+        if (v.cost.has_value()) c.cost = v.cost->total;
+        c.detail = v.detail;
+        if (v.chosen && v.cost.has_value()) {
+          active_event_->cost_estimate = v.cost->total;
+        }
+        active_event_->candidates.push_back(std::move(c));
+      }
+    }
     if (rewrite.has_value()) {
       Statement rewritten;
       RFV_ASSIGN_OR_RETURN(rewritten, Parser::ParseStatement(rewrite->sql));
@@ -510,6 +603,10 @@ Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  if (catalog_.IsVirtualName(stmt.table_name)) {
+    return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
+                                   " is read-only");
+  }
   Result<Table*> table = catalog_.GetTable(stmt.table_name);
   if (!table.ok()) return table.status();
   RFV_RETURN_IF_ERROR((*table)->CreateIndex(ToLower(stmt.index_name),
@@ -518,6 +615,10 @@ Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
+  if (catalog_.IsVirtualName(stmt.table_name)) {
+    return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
+                                   " is read-only");
+  }
   Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
   if (!table_result.ok()) return table_result.status();
   Table* table = *table_result;
@@ -560,6 +661,10 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  if (catalog_.IsVirtualName(stmt.table_name)) {
+    return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
+                                   " is read-only");
+  }
   Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
   if (!table_result.ok()) return table_result.status();
   Table* table = *table_result;
@@ -612,6 +717,10 @@ Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
+  if (catalog_.IsVirtualName(stmt.table_name)) {
+    return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
+                                   " is read-only");
+  }
   Result<Table*> table_result = catalog_.GetTable(stmt.table_name);
   if (!table_result.ok()) return table_result.status();
   Table* table = *table_result;

@@ -5,7 +5,9 @@
 #include <string>
 
 #include "common/status.h"
+#include "db/query_log.h"
 #include "db/result_set.h"
+#include "db/system_views.h"
 #include "exec/executor.h"
 #include "parser/ast.h"
 #include "rewrite/rewriter.h"
@@ -56,7 +58,13 @@ class Database {
     ExecOptions exec;
   };
 
-  Database() : views_(&catalog_), rewriter_(&catalog_, &views_) {}
+  Database()
+      : views_(&catalog_),
+        rewriter_(&catalog_, &views_),
+        system_views_(&catalog_, &views_, &query_log_) {
+    catalog_.RegisterVirtualSchema(SystemViewProvider::kSchemaName,
+                                   &system_views_);
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -73,6 +81,17 @@ class Database {
   /// Process-wide metrics (queries, rewrites, index probes, view
   /// maintenance...) in Prometheus text exposition format.
   static std::string MetricsText();
+
+  /// The captured workload (one QueryEvent per Execute call, bounded
+  /// ring) as JSONL — the view advisor's observed query stream. Also
+  /// queryable in SQL as `rfv_system.queries` / `rfv_system.operators`.
+  std::string WorkloadJsonl() const { return query_log_.ToJsonl(); }
+
+  /// Writes WorkloadJsonl() to `path` (shell `\workload export`).
+  Status ExportWorkload(const std::string& path) const;
+
+  QueryLog* query_log() { return &query_log_; }
+  const QueryLog& query_log() const { return query_log_; }
 
   Catalog* catalog() { return &catalog_; }
   ViewManager* view_manager() { return &views_; }
@@ -97,6 +116,13 @@ class Database {
   ViewManager views_;
   Rewriter rewriter_;
   Options options_;
+  QueryLog query_log_;
+  SystemViewProvider system_views_;
+  /// Session-scoped id of the next Execute call (rfv_system.queries key).
+  int64_t next_query_id_ = 1;
+  /// The event Execute() is currently building; ExecuteSelect fills its
+  /// rewrite candidates through this. Null outside Execute().
+  QueryEvent* active_event_ = nullptr;
 };
 
 }  // namespace rfv

@@ -305,10 +305,10 @@ Result<Statement> Parser::ParseCreate() {
   RFV_RETURN_IF_ERROR(ExpectKeyword("create"));
   if (AcceptKeyword("table")) {
     auto create = std::make_unique<CreateTableStmt>();
-    if (Peek().type != TokenType::kIdentifier) {
-      return ErrorHere("expected table name");
-    }
-    create->table_name = Advance().text;
+    // Qualified names parse (so the catalog can reject writes into a
+    // virtual schema with a proper error) even though user schemas
+    // don't exist.
+    RFV_ASSIGN_OR_RETURN(create->table_name, ParseTableName());
     RFV_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
     do {
       ColumnSpec col;
@@ -339,10 +339,7 @@ Result<Statement> Parser::ParseCreate() {
     }
     create->index_name = Advance().text;
     RFV_RETURN_IF_ERROR(ExpectKeyword("on"));
-    if (Peek().type != TokenType::kIdentifier) {
-      return ErrorHere("expected table name");
-    }
-    create->table_name = Advance().text;
+    RFV_ASSIGN_OR_RETURN(create->table_name, ParseTableName());
     RFV_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
     if (Peek().type != TokenType::kIdentifier) {
       return ErrorHere("expected column name");
@@ -372,14 +369,25 @@ Result<Statement> Parser::ParseCreate() {
   return ErrorHere("expected TABLE, INDEX or [MATERIALIZED] VIEW");
 }
 
+Result<std::string> Parser::ParseTableName() {
+  if (Peek().type != TokenType::kIdentifier || AtReservedKeyword()) {
+    return ErrorHere("expected table name");
+  }
+  std::string name = Advance().text;
+  if (Accept(TokenType::kDot)) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name after schema qualifier");
+    }
+    name += "." + Advance().text;
+  }
+  return name;
+}
+
 Result<Statement> Parser::ParseInsert() {
   RFV_RETURN_IF_ERROR(ExpectKeyword("insert"));
   RFV_RETURN_IF_ERROR(ExpectKeyword("into"));
   auto insert = std::make_unique<InsertStmt>();
-  if (Peek().type != TokenType::kIdentifier) {
-    return ErrorHere("expected table name");
-  }
-  insert->table_name = Advance().text;
+  RFV_ASSIGN_OR_RETURN(insert->table_name, ParseTableName());
   if (Accept(TokenType::kLParen)) {
     do {
       if (Peek().type != TokenType::kIdentifier) {
@@ -410,10 +418,7 @@ Result<Statement> Parser::ParseInsert() {
 Result<Statement> Parser::ParseUpdate() {
   RFV_RETURN_IF_ERROR(ExpectKeyword("update"));
   auto update = std::make_unique<UpdateStmt>();
-  if (Peek().type != TokenType::kIdentifier) {
-    return ErrorHere("expected table name");
-  }
-  update->table_name = Advance().text;
+  RFV_ASSIGN_OR_RETURN(update->table_name, ParseTableName());
   RFV_RETURN_IF_ERROR(ExpectKeyword("set"));
   do {
     if (Peek().type != TokenType::kIdentifier) {
@@ -438,10 +443,7 @@ Result<Statement> Parser::ParseDelete() {
   RFV_RETURN_IF_ERROR(ExpectKeyword("delete"));
   RFV_RETURN_IF_ERROR(ExpectKeyword("from"));
   auto del = std::make_unique<DeleteStmt>();
-  if (Peek().type != TokenType::kIdentifier) {
-    return ErrorHere("expected table name");
-  }
-  del->table_name = Advance().text;
+  RFV_ASSIGN_OR_RETURN(del->table_name, ParseTableName());
   if (AcceptKeyword("where")) {
     RFV_ASSIGN_OR_RETURN(del->where, ParseExpr());
   }
@@ -455,10 +457,7 @@ Result<Statement> Parser::ParseDrop() {
   RFV_RETURN_IF_ERROR(ExpectKeyword("drop"));
   RFV_RETURN_IF_ERROR(ExpectKeyword("table"));
   auto drop = std::make_unique<DropTableStmt>();
-  if (Peek().type != TokenType::kIdentifier) {
-    return ErrorHere("expected table name");
-  }
-  drop->table_name = Advance().text;
+  RFV_ASSIGN_OR_RETURN(drop->table_name, ParseTableName());
   Statement stmt;
   stmt.kind = Statement::Kind::kDropTable;
   stmt.drop_table = std::move(drop);
@@ -531,7 +530,7 @@ Result<std::unique_ptr<TableRef>> Parser::ParseTablePrimary() {
       return ErrorHere("expected table name or subquery");
     }
     ref->kind = TableRef::Kind::kTable;
-    ref->table_name = Advance().text;
+    RFV_ASSIGN_OR_RETURN(ref->table_name, ParseTableName());
   }
   if (AcceptKeyword("as")) {
     if (Peek().type != TokenType::kIdentifier) {

@@ -69,6 +69,9 @@ class Parser {
   Result<std::unique_ptr<TableRef>> ParseFromClause();
   Result<std::unique_ptr<TableRef>> ParseJoinChain();
   Result<std::unique_ptr<TableRef>> ParseTablePrimary();
+  /// Table name, optionally schema-qualified: `name` or `schema.name`
+  /// (rendered dot-joined, e.g. "rfv_system.queries").
+  Result<std::string> ParseTableName();
   Result<std::vector<OrderItemAst>> ParseOrderByList();
   Result<DataType> ParseTypeName();
 

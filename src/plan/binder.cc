@@ -287,8 +287,13 @@ Result<LogicalPlanPtr> Binder::BindTableRef(const TableRef& ref) {
     case TableRef::Kind::kTable: {
       Result<Table*> table = catalog_->GetTable(ref.table_name);
       if (!table.ok()) return table.status();
-      const std::string alias =
-          ref.alias.empty() ? ToLower(ref.table_name) : ToLower(ref.alias);
+      // Schema-qualified names (rfv_system.queries) default their alias
+      // to the bare table part so column references qualify naturally
+      // (queries.query_id, not rfv_system.queries.query_id).
+      std::string alias = ToLower(ref.alias.empty() ? ref.table_name
+                                                    : ref.alias);
+      const size_t dot = alias.rfind('.');
+      if (dot != std::string::npos) alias = alias.substr(dot + 1);
       return MakeScan(*table, alias);
     }
     case TableRef::Kind::kSubquery: {

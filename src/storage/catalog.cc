@@ -1,11 +1,31 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace rfv {
 
+namespace {
+
+/// Splits `schema.table` at the first dot; false when there is none.
+bool SplitQualified(const std::string& name, std::string* schema,
+                    std::string* table) {
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) return false;
+  *schema = name.substr(0, dot);
+  *table = name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   const std::string key = ToLower(name);
+  if (IsVirtualName(key)) {
+    return Status::InvalidArgument("schema '" + key.substr(0, key.find('.')) +
+                                   "' is reserved for system views");
+  }
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -16,19 +36,64 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
-  const auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("table " + name + " does not exist");
+  const std::string key = ToLower(name);
+  const auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second.get();
+
+  std::string schema_name;
+  std::string table_name;
+  if (SplitQualified(key, &schema_name, &table_name)) {
+    const auto provider_it = virtual_schemas_.find(schema_name);
+    if (provider_it != virtual_schemas_.end()) {
+      VirtualTableProvider* provider = provider_it->second;
+      std::vector<Row> rows;
+      RFV_ASSIGN_OR_RETURN(rows,
+                           provider->MaterializeVirtualTable(table_name));
+      Table* snapshot = nullptr;
+      const auto cached = virtual_cache_.find(key);
+      if (cached != virtual_cache_.end()) {
+        // Refill in place: pointers handed out earlier (open scans of a
+        // self-join binding the same view twice) stay valid; the
+        // mutation-epoch bump only matters to scans opened *before* the
+        // re-materialization, which a sequential session cannot have.
+        snapshot = cached->second.get();
+        snapshot->Truncate();
+      } else {
+        Schema schema;
+        RFV_ASSIGN_OR_RETURN(schema, provider->VirtualTableSchema(table_name));
+        auto table = std::make_unique<Table>(key, std::move(schema));
+        snapshot = table.get();
+        virtual_cache_[key] = std::move(table);
+      }
+      RFV_RETURN_IF_ERROR(snapshot->InsertBatch(std::move(rows)));
+      // Virtual snapshots are born analyzed: they are tiny and the
+      // cardinality estimator would otherwise see never-analyzed stats.
+      snapshot->Analyze();
+      return snapshot;
+    }
   }
-  return it->second.get();
+  return Status::NotFound("table " + name + " does not exist");
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(ToLower(name)) > 0;
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) return true;
+  std::string schema_name;
+  std::string table_name;
+  if (!SplitQualified(key, &schema_name, &table_name)) return false;
+  const auto it = virtual_schemas_.find(schema_name);
+  if (it == virtual_schemas_.end()) return false;
+  const std::vector<std::string> names = it->second->VirtualTableNames();
+  return std::find(names.begin(), names.end(), table_name) != names.end();
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  const auto it = tables_.find(ToLower(name));
+  const std::string key = ToLower(name);
+  if (IsVirtualName(key)) {
+    return Status::InvalidArgument("system view " + key +
+                                   " cannot be dropped");
+  }
+  const auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
   }
@@ -41,6 +106,29 @@ std::vector<std::string> Catalog::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
+}
+
+void Catalog::RegisterVirtualSchema(const std::string& schema_name,
+                                    VirtualTableProvider* provider) {
+  virtual_schemas_[ToLower(schema_name)] = provider;
+}
+
+bool Catalog::IsVirtualName(const std::string& name) const {
+  std::string schema_name;
+  std::string table_name;
+  if (!SplitQualified(ToLower(name), &schema_name, &table_name)) return false;
+  return virtual_schemas_.count(schema_name) > 0;
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [schema_name, provider] : virtual_schemas_) {
+    for (const std::string& table : provider->VirtualTableNames()) {
+      out.push_back(schema_name + "." + table);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace rfv

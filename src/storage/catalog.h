@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "storage/table.h"
+#include "storage/virtual_table.h"
 
 namespace rfv {
 
@@ -15,28 +16,56 @@ namespace rfv {
 /// matching the engine's SQL identifier rules. Materialized view *contents*
 /// are ordinary tables registered here; view *metadata* lives in
 /// `ViewManager` (src/view) which references this catalog.
+///
+/// Besides ordinary tables, the catalog serves *virtual* tables under
+/// registered schema prefixes (`RegisterVirtualSchema`): a qualified
+/// name like `rfv_system.queries` resolves by asking the schema's
+/// `VirtualTableProvider` to materialize its current rows into a cached
+/// content table. Resolution happens on every `GetTable` call — i.e. at
+/// bind/scan-open time — so every query sees a fresh, then stable,
+/// snapshot. Virtual tables cannot be created, dropped or written.
 class Catalog {
  public:
   Catalog() = default;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table. Errors: kAlreadyExists.
+  /// Creates an empty table. Errors: kAlreadyExists; kInvalidArgument
+  /// for names inside a reserved virtual schema.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
 
-  /// Looks a table up. Errors: kNotFound.
+  /// Looks a table up; virtual names (`schema.table` with a registered
+  /// schema) re-materialize their snapshot first. Errors: kNotFound.
   Result<Table*> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
 
-  /// Drops a table. Errors: kNotFound.
+  /// Drops a table. Errors: kNotFound; kInvalidArgument for virtual
+  /// names (system views are not droppable).
   Status DropTable(const std::string& name);
 
-  /// All table names, sorted.
+  /// All *stored* table names, sorted. Virtual tables are excluded (use
+  /// VirtualTableNames); callers iterate this for ANALYZE and stats.
   std::vector<std::string> TableNames() const;
+
+  /// Registers `provider` as the source of tables under
+  /// `schema_name.*`. The provider must outlive the catalog.
+  void RegisterVirtualSchema(const std::string& schema_name,
+                             VirtualTableProvider* provider);
+
+  /// True when `name` is `schema.table` with a registered virtual
+  /// schema (regardless of whether the provider serves `table`).
+  bool IsVirtualName(const std::string& name) const;
+
+  /// Qualified names of every servable virtual table, sorted.
+  std::vector<std::string> VirtualTableNames() const;
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, VirtualTableProvider*> virtual_schemas_;
+  /// Snapshot tables for virtual names, refilled on each GetTable so
+  /// handed-out pointers stay stable across re-materializations.
+  mutable std::map<std::string, std::unique_ptr<Table>> virtual_cache_;
 };
 
 }  // namespace rfv

@@ -171,24 +171,23 @@ Result<size_t> PropagateBaseUpdate(ViewManager* views,
     Result<Table*> content = views->catalog()->GetTable(def->view_name);
     if (!content.ok()) return content.status();
 
+    size_t view_touched = 0;
     if (def->fn == SeqAggFn::kSum) {
       const double delta = new_value - old_value;
       if (def->window.is_cumulative()) {
-        size_t w = 0;
         RFV_ASSIGN_OR_RETURN(
-            w, AddDeltaRange(*content, position, def->n, delta));
-        touched += w;
+            view_touched, AddDeltaRange(*content, position, def->n, delta));
       } else {
-        size_t w = 0;
         RFV_ASSIGN_OR_RETURN(
-            w, AddDeltaRange(*content, position - def->window.h(),
-                             position + def->window.l(), delta));
-        touched += w;
+            view_touched,
+            AddDeltaRange(*content, position - def->window.h(),
+                          position + def->window.l(), delta));
       }
     } else {
       // MIN/MAX: recompute the affected windows from base data with a
       // monotonic deque over the span they cover.
       if (def->window.is_cumulative()) {
+        // RefreshView records this as a full refresh, not incremental.
         RFV_RETURN_IF_ERROR(views->RefreshView(def->view_name));
         touched += static_cast<size_t>((*content)->NumRows());
         continue;
@@ -216,9 +215,12 @@ Result<size_t> PropagateBaseUpdate(ViewManager* views,
         RFV_ASSIGN_OR_RETURN(
             w, WriteViewValue(*content, k,
                               mono.empty() ? 0 : mono.front().second));
-        touched += w;
+        view_touched += w;
       }
     }
+    views->NoteIncrementalUpdate(def->view_name,
+                                 static_cast<int64_t>(view_touched));
+    touched += view_touched;
   }
   if (!base_updated) {
     return Status::NotFound(

@@ -153,6 +153,7 @@ Result<const SequenceViewDef*> ViewManager::CreateSequenceView(
   if (def.indexed) {
     RFV_RETURN_IF_ERROR(content->CreateIndex(def.view_name + "_pk", "pos"));
   }
+  NoteFullRefresh(def.view_name, static_cast<int64_t>(content->NumRows()));
   views_.push_back(std::make_unique<SequenceViewDef>(std::move(def)));
   return views_.back().get();
 }
@@ -189,7 +190,9 @@ Status ViewManager::RefreshView(const std::string& view_name) {
   }
   Result<Table*> content = catalog_->GetTable(def->view_name);
   if (!content.ok()) return content.status();
-  return Materialize(*def, *content, &def->n);
+  RFV_RETURN_IF_ERROR(Materialize(*def, *content, &def->n));
+  NoteFullRefresh(def->view_name, static_cast<int64_t>((*content)->NumRows()));
+  return Status::OK();
 }
 
 Status ViewManager::DropView(const std::string& view_name) {
@@ -197,10 +200,31 @@ Status ViewManager::DropView(const std::string& view_name) {
   for (auto it = views_.begin(); it != views_.end(); ++it) {
     if ((*it)->view_name == key) {
       views_.erase(it);
+      maintenance_.erase(key);
       return catalog_->DropTable(key);
     }
   }
   return Status::NotFound("view " + view_name + " is not registered");
+}
+
+ViewMaintenanceCounters ViewManager::MaintenanceCounters(
+    const std::string& view_name) const {
+  const auto it = maintenance_.find(ToLower(view_name));
+  return it == maintenance_.end() ? ViewMaintenanceCounters{} : it->second;
+}
+
+void ViewManager::NoteFullRefresh(const std::string& view_name,
+                                  int64_t rows_written) {
+  ViewMaintenanceCounters& c = maintenance_[ToLower(view_name)];
+  ++c.full_refreshes;
+  c.rows_written += rows_written;
+}
+
+void ViewManager::NoteIncrementalUpdate(const std::string& view_name,
+                                        int64_t rows_written) {
+  ViewMaintenanceCounters& c = maintenance_[ToLower(view_name)];
+  ++c.incremental_updates;
+  c.rows_written += rows_written;
 }
 
 const SequenceViewDef* ViewManager::FindView(

@@ -1,6 +1,8 @@
 #ifndef RFVIEW_VIEW_VIEW_MANAGER_H_
 #define RFVIEW_VIEW_VIEW_MANAGER_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +12,18 @@
 #include "view/view_def.h"
 
 namespace rfv {
+
+/// Maintenance activity of one registered view, surfaced through the
+/// `rfv_system.views` introspection view.
+struct ViewMaintenanceCounters {
+  /// Complete rematerializations from base data (initial materialize,
+  /// REFRESH, and the insert/delete propagation paths).
+  int64_t full_refreshes = 0;
+  /// Localized update propagations (paper §2.3 locality rule).
+  int64_t incremental_updates = 0;
+  /// Content rows written across all maintenance of this view.
+  int64_t rows_written = 0;
+};
 
 /// Registry and materializer for sequence views. Content tables live in
 /// the catalog (so SQL can query them directly); this class owns the
@@ -57,6 +71,17 @@ class ViewManager {
     return views_;
   }
 
+  /// Maintenance counters of `view_name` (all-zero when the view has
+  /// seen no maintenance or is unknown).
+  ViewMaintenanceCounters MaintenanceCounters(
+      const std::string& view_name) const;
+
+  /// Counter hooks, called by the refresh paths above and by the DML
+  /// propagation in view/maintenance.cc.
+  void NoteFullRefresh(const std::string& view_name, int64_t rows_written);
+  void NoteIncrementalUpdate(const std::string& view_name,
+                             int64_t rows_written);
+
   Catalog* catalog() const { return catalog_; }
 
  private:
@@ -66,6 +91,8 @@ class ViewManager {
 
   Catalog* catalog_;
   std::vector<std::unique_ptr<SequenceViewDef>> views_;
+  /// Lowered view name → maintenance counters.
+  std::map<std::string, ViewMaintenanceCounters> maintenance_;
 };
 
 }  // namespace rfv

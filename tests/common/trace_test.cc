@@ -103,7 +103,7 @@ TEST(TracerTest, RingEvictsOldTraces) {
   std::shared_ptr<QueryTrace> oldest = Tracer::Global().StartQuery();
   const int64_t oldest_id = oldest->id();
   Tracer::Global().Retire(oldest);
-  for (size_t i = 0; i < Tracer::kMaxRetired; ++i) {
+  for (size_t i = 0; i < Tracer::Global().ring_capacity(); ++i) {
     Tracer::Global().Retire(Tracer::Global().StartQuery());
   }
   EXPECT_EQ(Tracer::Global().Find(oldest_id), nullptr);

@@ -1,0 +1,173 @@
+#include "db/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::IsValidJson;
+
+TEST(NormalizeFingerprintTest, StripsNumericLiterals) {
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE x = 42"),
+            "select * from t where x = ?");
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE x = 42"),
+            NormalizeFingerprint("SELECT * FROM t WHERE x = 99"));
+  EXPECT_EQ(NormalizeFingerprint("SELECT a + 1.5 FROM t"),
+            "select a + ? from t");
+}
+
+TEST(NormalizeFingerprintTest, StripsStringLiterals) {
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE name = 'bob'"),
+            NormalizeFingerprint("SELECT * FROM t WHERE name = 'alice'"));
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE name = 'bob'"),
+            "select * from t where name = ?");
+}
+
+TEST(NormalizeFingerprintTest, FoldsCaseAndWhitespace) {
+  EXPECT_EQ(NormalizeFingerprint("SeLeCt   *\n\tFROM   T"),
+            NormalizeFingerprint("select * from t"));
+  EXPECT_EQ(NormalizeFingerprint("  select 1  ;  "),
+            NormalizeFingerprint("SELECT 2"));
+}
+
+TEST(NormalizeFingerprintTest, CollapsesAllLiteralInLists) {
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE x IN (1, 2, 3)"),
+            NormalizeFingerprint("SELECT * FROM t WHERE x IN (4)"));
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE x IN (1, 2)"),
+            "select * from t where x in (?)");
+  EXPECT_EQ(NormalizeFingerprint("WHERE s IN ('a', 'b', 'c')"),
+            "where s in (?)");
+}
+
+TEST(NormalizeFingerprintTest, KeepsNonLiteralInListsIntact) {
+  // A column reference inside the list blocks the collapse; individual
+  // literals still strip to placeholders.
+  EXPECT_EQ(NormalizeFingerprint("SELECT * FROM t WHERE x IN (a, 2)"),
+            "select * from t where x in (a, ?)");
+}
+
+TEST(NormalizeFingerprintTest, PreservesOperatorsAndPunctuation) {
+  EXPECT_EQ(NormalizeFingerprint("SELECT t.a, t.b FROM t WHERE a <= b"),
+            "select t.a, t.b from t where a <= b");
+  EXPECT_EQ(NormalizeFingerprint("SELECT SUM(val) OVER (ORDER BY pos)"),
+            "select sum (val) over (order by pos)");
+}
+
+TEST(NormalizeFingerprintTest, UnlexableTextFallsBack) {
+  // '!' alone is a lex error; the fallback still case/space-folds so
+  // retries of the same broken text share a fingerprint.
+  EXPECT_EQ(NormalizeFingerprint("SELECT ! FROM t"),
+            NormalizeFingerprint("select  !  from   t"));
+  EXPECT_EQ(NormalizeFingerprint("SELECT ! FROM t"), "select ! from t");
+}
+
+QueryEvent MakeEvent(int64_t id) {
+  QueryEvent e;
+  e.query_id = id;
+  e.sql = "SELECT " + std::to_string(id);
+  e.fingerprint = "select ?";
+  e.kind = "select";
+  e.status = "ok";
+  return e;
+}
+
+TEST(QueryEventTest, ToJsonIsValidAndComplete) {
+  QueryEvent e = MakeEvent(7);
+  e.sql = "SELECT \"quoted\"\nnewline";
+  e.duration_ns = 1500000;  // 1.5 ms
+  e.phase_ns = {{"parse", 1000000}, {"execute", 500000}};
+  e.rows_in = 10;
+  e.rows_out = 3;
+  e.rewrite = "MaxOA";
+  e.rewrite_view = "v";
+  e.cost_estimate = 123.5;
+  QueryEventCandidate c;
+  c.view = "v";
+  c.derivable = true;
+  c.method = "MaxOA";
+  c.chosen = true;
+  c.cost = 123.5;
+  e.candidates.push_back(c);
+  QueryEventOperator op;
+  op.op = "scan";
+  op.rows_out = 10;
+  e.operators.push_back(op);
+
+  const std::string json = e.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"query_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\": \"select ?\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\": 1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ms\": 1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"decision\": \"MaxOA\""), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": [{"), std::string::npos);
+  EXPECT_NE(json.find("\"op\": \"scan\""), std::string::npos);
+}
+
+TEST(QueryEventTest, UncostedFieldsRenderAsJsonNull) {
+  const std::string json = MakeEvent(1).ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"cost_estimate\": null"), std::string::npos);
+}
+
+TEST(QueryLogTest, EvictsOldestBeyondCapacity) {
+  QueryLog log(3);
+  for (int64_t i = 1; i <= 5; ++i) log.Append(MakeEvent(i));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_appended(), 5);
+  const std::vector<QueryEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest first, and the two oldest (1, 2) are gone.
+  EXPECT_EQ(events[0].query_id, 3);
+  EXPECT_EQ(events[1].query_id, 4);
+  EXPECT_EQ(events[2].query_id, 5);
+}
+
+TEST(QueryLogTest, ShrinkingCapacityEvictsImmediately) {
+  QueryLog log(8);
+  for (int64_t i = 1; i <= 6; ++i) log.Append(MakeEvent(i));
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "rfv_workload_events_dropped_total");
+  const int64_t dropped_before = dropped->value();
+  log.SetCapacity(2);
+  EXPECT_EQ(log.capacity(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(dropped->value() - dropped_before, 4);
+  EXPECT_EQ(log.Snapshot()[0].query_id, 5);
+  EXPECT_EQ(log.Snapshot()[1].query_id, 6);
+}
+
+TEST(QueryLogTest, ZeroCapacityClampsToOne) {
+  QueryLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Append(MakeEvent(1));
+  log.Append(MakeEvent(2));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.Snapshot()[0].query_id, 2);
+}
+
+TEST(QueryLogTest, ToJsonlEmitsOneValidLinePerEvent) {
+  QueryLog log(4);
+  log.Append(MakeEvent(1));
+  log.Append(MakeEvent(2));
+  const std::string jsonl = log.ToJsonl();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    const size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_TRUE(IsValidJson(jsonl.substr(start, end - start)));
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+}  // namespace
+}  // namespace rfv
