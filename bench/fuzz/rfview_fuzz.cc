@@ -26,6 +26,7 @@
 
 #include "common/metrics_registry.h"
 #include "testing/generator.h"
+#include "testing/interleave.h"
 #include "testing/oracle.h"
 #include "testing/shrinker.h"
 
@@ -34,7 +35,8 @@ namespace {
 struct Args {
   uint64_t seed = 1;
   int iterations = 200;
-  double time_budget_s = 0;  // 0 = unlimited
+  int interleave_iterations = 0;  // concurrent-session oracle scenarios
+  double time_budget_s = 0;       // 0 = unlimited
   std::string out_dir = ".";
   rfv::fuzzing::OracleOptions oracle;
   bool quiet = false;
@@ -43,7 +45,8 @@ struct Args {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]\n"
+      "usage: %s [--seed N] [--iterations N] [--interleave N]\n"
+      "          [--time-budget SECONDS]\n"
       "          [--parallel-workers N] [--out-dir DIR]\n"
       "          [--inject-off-by-one] [--quiet]\n",
       argv0);
@@ -63,6 +66,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->iterations = std::atoi(v);
+    } else if (flag == "--interleave") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->interleave_iterations = std::atoi(v);
     } else if (flag == "--time-budget") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -85,7 +92,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  return args->iterations > 0 || args->time_budget_s > 0;
+  return args->iterations > 0 || args->interleave_iterations > 0 ||
+         args->time_budget_s > 0;
 }
 
 }  // namespace
@@ -107,7 +115,40 @@ int main(int argc, char** argv) {
   int executed = 0;
   int failed = 0;
   int64_t total_checks = 0;
-  for (int i = 0; args.iterations <= 0 || i < args.iterations; ++i) {
+
+  // Concurrent-session interleave campaign: serial replay vs. racing
+  // per-session threads (testing/interleave.h). Iteration-bounded, so
+  // it runs before the open-ended scenario campaign consumes the time
+  // budget. No shrinker — the schedule transcript is already minimal
+  // enough to replay by hand.
+  for (int i = 0; i < args.interleave_iterations; ++i) {
+    if (args.time_budget_s > 0 && elapsed_s() >= args.time_budget_s) break;
+    const rfv::fuzzing::InterleaveScenario scenario =
+        rfv::fuzzing::GenerateInterleaveScenario(args.seed, i);
+    const rfv::fuzzing::InterleaveVerdict verdict =
+        rfv::fuzzing::RunInterleaveScenario(scenario);
+    ++executed;
+    total_checks += verdict.checks;
+    if (!verdict.ok()) {
+      ++failed;
+      std::printf("MISMATCH %s\n%s\n", scenario.Id().c_str(),
+                  verdict.Summary().c_str());
+      const std::string path = args.out_dir + "/fuzz_interleave_seed" +
+                               std::to_string(args.seed) + "_iter" +
+                               std::to_string(i) + ".sql";
+      std::error_code ec;
+      std::filesystem::create_directories(args.out_dir, ec);
+      std::ofstream out(path);
+      if (out) {
+        out << scenario.ToSqlScript();
+        std::printf("  schedule written to %s\n", path.c_str());
+      }
+    }
+  }
+
+  for (int i = 0; i < args.iterations || (args.iterations <= 0 &&
+                                          args.time_budget_s > 0);
+       ++i) {
     if (args.time_budget_s > 0 && elapsed_s() >= args.time_budget_s) {
       if (!args.quiet) {
         std::printf("time budget reached after %d scenarios\n", executed);
@@ -165,7 +206,9 @@ int main(int argc, char** argv) {
         "\n" + rfv::MetricsRegistry::Global().ToPrometheusText();
     for (const char* name :
          {"rfv_fuzz_scenarios_total", "rfv_fuzz_checks_total",
-          "rfv_fuzz_mismatches_total"}) {
+          "rfv_fuzz_mismatches_total", "rfv_fuzz_interleave_scenarios_total",
+          "rfv_fuzz_interleave_checks_total",
+          "rfv_fuzz_interleave_mismatches_total"}) {
       // Value lines start at column 0 ("# HELP"/"# TYPE" lines do not).
       const size_t pos = metrics.find("\n" + std::string(name) + " ");
       if (pos != std::string::npos) {

@@ -1,0 +1,95 @@
+#include "common/epoch.h"
+
+#include <utility>
+
+#include "common/metrics_registry.h"
+
+namespace rfv {
+
+EpochManager& EpochManager::Global() {
+  static EpochManager* instance = new EpochManager();
+  return *instance;
+}
+
+size_t EpochManager::Pin() {
+  // A slot must never publish an epoch older than what a concurrent
+  // writer could retire against, so the claim re-checks the global epoch
+  // after publishing and republishes until stable (the writer advances
+  // the epoch only *after* stamping retirees, so a reader that observes
+  // epoch E cannot miss objects retired at stamps < E).
+  for (size_t probe = 0; probe < kNumSlots; ++probe) {
+    uint64_t expected = 0;
+    uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (slots_[probe].compare_exchange_strong(expected, epoch,
+                                              std::memory_order_acq_rel)) {
+      // Republish until the epoch we advertise is no older than the
+      // global epoch at publication time.
+      while (true) {
+        const uint64_t now = epoch_.load(std::memory_order_acquire);
+        if (now == epoch) break;
+        epoch = now;
+        slots_[probe].store(epoch, std::memory_order_release);
+      }
+      return probe;
+    }
+  }
+  return kNoSlot;
+}
+
+void EpochManager::Unpin(size_t slot) {
+  if (slot == kNoSlot || slot >= kNumSlots) return;
+  slots_[slot].store(0, std::memory_order_release);
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> retired) {
+  static Counter* retired_total = MetricsRegistry::Global().GetCounter(
+      "rfv_epoch_retired_total", {},
+      "Objects retired into the epoch manager (superseded table snapshots)");
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    Retired entry;
+    entry.epoch = epoch_.load(std::memory_order_acquire);
+    entry.object = std::move(retired);
+    retired_.push_back(std::move(entry));
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  retired_total->Increment();
+}
+
+uint64_t EpochManager::OldestPinnedEpoch() const {
+  uint64_t oldest = epoch_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    const uint64_t pinned = slots_[i].load(std::memory_order_acquire);
+    if (pinned != 0 && pinned < oldest) oldest = pinned;
+  }
+  return oldest;
+}
+
+size_t EpochManager::Reclaim() {
+  static Counter* reclaimed_total = MetricsRegistry::Global().GetCounter(
+      "rfv_epoch_reclaimed_total", {},
+      "Retired objects reclaimed after every reader epoch moved past them");
+  const uint64_t oldest = OldestPinnedEpoch();
+  size_t freed = 0;
+  // Destroy outside the lock: a snapshot's destructor may free many
+  // chunks, and readers pinning concurrently must not queue behind it.
+  std::deque<Retired> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    while (!retired_.empty() && retired_.front().epoch < oldest) {
+      to_free.push_back(std::move(retired_.front()));
+      retired_.pop_front();
+      ++freed;
+    }
+  }
+  to_free.clear();
+  if (freed > 0) reclaimed_total->Increment(static_cast<int64_t>(freed));
+  return freed;
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+}  // namespace rfv

@@ -1,0 +1,139 @@
+#ifndef RFVIEW_COMMON_EPOCH_H_
+#define RFVIEW_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace rfv {
+
+/// Epoch-based reclamation for reader/writer concurrency (the RCU
+/// idiom): readers *pin* the current epoch for the duration of a read
+/// critical section (an open table scan); writers *retire* superseded
+/// objects (table snapshots) instead of freeing them, and retired
+/// objects are reclaimed only once every epoch that could still observe
+/// them has been unpinned.
+///
+/// The engine keeps a second safety net — retired objects are held by
+/// `std::shared_ptr`, and readers hold their own reference — so epoch
+/// reclamation here bounds the *retired backlog* (and surfaces it as
+/// metrics) rather than being the last line of defense against
+/// use-after-free. That layering keeps the primitive simple (no hazard
+/// pointers, no deferred callbacks) while giving the serving layer the
+/// epoch discipline the sharded-maintenance roadmap item needs.
+///
+/// Readers:
+///   EpochGuard guard;             // pins EpochManager::Global()
+///   ... read the pinned snapshot ...
+///                                  // destructor unpins
+/// Writers:
+///   manager.Retire(old_snapshot);  // advances the epoch
+///   manager.Reclaim();             // frees what no reader can see
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Process-wide instance used by table storage.
+  static EpochManager& Global();
+
+  /// The current (writer-advanced) epoch. Starts at 1; epoch 0 means
+  /// "unpinned" in reader slots.
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the current epoch into a reader slot; returns the slot index,
+  /// or kNoSlot when all slots are busy (the caller's shared_ptr then
+  /// carries the lifetime alone — safe, just unaccounted).
+  size_t Pin();
+
+  /// Releases a slot returned by Pin (kNoSlot is a no-op).
+  void Unpin(size_t slot);
+
+  /// Transfers ownership of a superseded object into the retired list,
+  /// stamps it with the epoch *before* advancing, then advances the
+  /// epoch. The object is destroyed (this manager's reference dropped)
+  /// by a later Reclaim once no pinned reader predates the stamp.
+  void Retire(std::shared_ptr<const void> retired);
+
+  /// Frees every retired object whose stamp epoch is older than the
+  /// oldest pinned epoch; returns how many were freed.
+  size_t Reclaim();
+
+  /// Oldest epoch still pinned by a reader; current_epoch() when no
+  /// reader is active.
+  uint64_t OldestPinnedEpoch() const;
+
+  /// Retired objects not yet reclaimed (observability/tests).
+  size_t retired_count() const;
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  static constexpr size_t kNumSlots = 128;
+
+ private:
+  struct Retired {
+    uint64_t epoch = 0;
+    std::shared_ptr<const void> object;
+  };
+
+  /// Writer-advanced global epoch.
+  std::atomic<uint64_t> epoch_{1};
+  /// Reader slots: 0 = free, else the pinned epoch.
+  std::atomic<uint64_t> slots_[kNumSlots] = {};
+  /// Retired objects awaiting reclamation, oldest first (stamp epochs
+  /// are monotone, so reclamation pops a prefix).
+  mutable std::mutex retired_mu_;
+  std::deque<Retired> retired_;
+};
+
+/// RAII pin on an EpochManager (the reader side of the idiom).
+/// Constructing with nullptr yields an empty guard (pins nothing) that
+/// can later be move-assigned a live one.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* manager = &EpochManager::Global())
+      : manager_(manager),
+        slot_(manager != nullptr ? manager->Pin() : EpochManager::kNoSlot) {}
+  ~EpochGuard() { Release(); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  EpochGuard(EpochGuard&& other) noexcept
+      : manager_(other.manager_), slot_(other.slot_) {
+    other.manager_ = nullptr;
+    other.slot_ = EpochManager::kNoSlot;
+  }
+  EpochGuard& operator=(EpochGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      manager_ = other.manager_;
+      slot_ = other.slot_;
+      other.manager_ = nullptr;
+      other.slot_ = EpochManager::kNoSlot;
+    }
+    return *this;
+  }
+
+  /// Unpins now (idempotent; the destructor calls it).
+  void Release() {
+    if (manager_ != nullptr) {
+      manager_->Unpin(slot_);
+      manager_ = nullptr;
+      slot_ = EpochManager::kNoSlot;
+    }
+  }
+
+ private:
+  EpochManager* manager_;
+  size_t slot_;
+};
+
+}  // namespace rfv
+
+#endif  // RFVIEW_COMMON_EPOCH_H_

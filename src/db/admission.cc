@@ -1,0 +1,105 @@
+#include "db/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics_registry.h"
+
+namespace rfv {
+
+namespace {
+
+struct AdmissionMetrics {
+  Gauge* running;
+  Gauge* queue_depth;
+  Counter* waits;
+  Histogram* wait_seconds;
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics* m = [] {
+    auto* metrics = new AdmissionMetrics();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    metrics->running = registry.GetGauge(
+        "rfv_admission_running", {},
+        "Statements currently holding an admission slot");
+    metrics->queue_depth = registry.GetGauge(
+        "rfv_admission_queue_depth", {},
+        "Callers parked in Admit() waiting for a free slot");
+    metrics->waits = registry.GetCounter(
+        "rfv_admission_waits_total", {},
+        "Admissions that found every slot busy and had to queue");
+    metrics->wait_seconds = registry.GetHistogram(
+        "rfv_admission_wait_seconds", {},
+        "Time spent queued for an admission slot");
+    return metrics;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(int max_concurrent)
+    : max_concurrent_(std::max(1, max_concurrent)) {}
+
+AdmissionController::Ticket AdmissionController::Admit() {
+  AdmissionMetrics& metrics = Metrics();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ >= max_concurrent_) {
+    metrics.waits->Increment();
+    const auto wait_start = std::chrono::steady_clock::now();
+    ++queued_;
+    metrics.queue_depth->Increment();
+    slot_free_.wait(lock, [this] { return running_ < max_concurrent_; });
+    --queued_;
+    metrics.queue_depth->Decrement();
+    metrics.wait_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wait_start)
+            .count());
+  }
+  ++running_;
+  metrics.running->Increment();
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  Metrics().running->Decrement();
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::set_max_concurrent(int max_concurrent) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_concurrent_ = std::max(1, max_concurrent);
+  }
+  slot_free_.notify_all();
+}
+
+int AdmissionController::max_concurrent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_concurrent_;
+}
+
+int64_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int64_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace rfv

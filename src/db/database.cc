@@ -21,6 +21,11 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
+/// The workload event the innermost Execute() on this thread is
+/// building; ExecuteSelect fills its rewrite candidates through this.
+/// Thread-local so concurrent sessions never share an event.
+thread_local QueryEvent* tls_active_event = nullptr;
+
 int64_t ElapsedNs(SteadyClock::time_point since) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              SteadyClock::now() - since)
@@ -222,6 +227,11 @@ Status Database::ExportWorkload(const std::string& path) const {
 }
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
+  return Execute(sql, options_);
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql,
+                                    const Options& options) {
   static Counter* queries = MetricsRegistry::Global().GetCounter(
       "rfv_queries_executed_total", {},
       "SQL statements submitted through Database::Execute");
@@ -232,20 +242,26 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
       "rfv_query_duration_seconds", {},
       "End-to-end Database::Execute latency");
 
+  // Queue for an admission slot before any work (including parsing):
+  // the cap bounds total execution concurrency, and the latency clock
+  // deliberately starts after admission so tail latencies measure
+  // execution, not queueing (queueing has its own histogram).
+  AdmissionController::Ticket ticket = admission_.Admit();
+
   const SteadyClock::time_point started = SteadyClock::now();
   std::shared_ptr<QueryTrace> trace;
   std::optional<ScopedTraceAttach> attach;
-  if (options_.enable_tracing) {
+  if (options.enable_tracing) {
     trace = Tracer::Global().StartQuery();
     attach.emplace(trace.get());
   }
 
   QueryEvent event;
-  event.query_id = next_query_id_++;
+  event.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
   event.sql = sql;
   event.fingerprint = NormalizeFingerprint(sql);
-  QueryEvent* const previous_event = active_event_;
-  active_event_ = &event;
+  QueryEvent* const previous_event = tls_active_event;
+  tls_active_event = &event;
 
   Result<ResultSet> result = [&]() -> Result<ResultSet> {
     TraceSpan query_span("query");
@@ -259,7 +275,7 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
       parse_ns = ElapsedNs(parse_start);
     }
     event.kind = StatementKindName(stmt);
-    Result<ResultSet> r = ExecuteStatement(stmt);
+    Result<ResultSet> r = ExecuteStatement(stmt, options);
     if (r.ok()) {
       std::vector<std::pair<std::string, int64_t>> phases;
       phases.emplace_back("parse", parse_ns);
@@ -268,7 +284,7 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
     }
     return r;
   }();
-  active_event_ = previous_event;
+  tls_active_event = previous_event;
 
   queries->Increment();
   if (!result.ok()) {
@@ -299,7 +315,7 @@ Status Database::ExecuteScript(const std::string& sql) {
   std::vector<Statement> statements;
   RFV_ASSIGN_OR_RETURN(statements, Parser::ParseScript(sql));
   for (const Statement& stmt : statements) {
-    Result<ResultSet> r = ExecuteStatement(stmt);
+    Result<ResultSet> r = ExecuteStatement(stmt, options_);
     if (!r.ok()) return r.status();
   }
   return Status::OK();
@@ -319,10 +335,11 @@ Result<std::string> Database::Explain(const std::string& sql) {
   return plan->ToString();
 }
 
-Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
+                                             const Options& options) {
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(*stmt.select, /*allow_rewrite=*/true);
+      return ExecuteSelect(*stmt.select, /*allow_rewrite=*/true, options);
     case Statement::Kind::kCreateTable:
       return ExecuteCreateTable(*stmt.create_table);
     case Statement::Kind::kCreateIndex:
@@ -334,18 +351,19 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
     case Statement::Kind::kDelete:
       return ExecuteDelete(*stmt.del);
     case Statement::Kind::kCreateView:
-      return ExecuteCreateView(*stmt.create_view);
+      return ExecuteCreateView(*stmt.create_view, options);
     case Statement::Kind::kDropTable:
       return ExecuteDropTable(*stmt.drop_table);
     case Statement::Kind::kAnalyze:
       return ExecuteAnalyze(*stmt.analyze);
     case Statement::Kind::kExplain:
-      return ExecuteExplain(stmt);
+      return ExecuteExplain(stmt, options);
   }
   return Status::Internal("unreachable statement kind");
 }
 
-Result<ResultSet> Database::ExecuteExplain(const Statement& stmt) {
+Result<ResultSet> Database::ExecuteExplain(const Statement& stmt,
+                                           const Options& options) {
   if (stmt.explained_kind != Statement::Kind::kSelect) {
     std::string text;
     RFV_ASSIGN_OR_RETURN(text, ExplainDml(stmt));
@@ -357,7 +375,8 @@ Result<ResultSet> Database::ExecuteExplain(const Statement& stmt) {
     TraceSpan span("explain.analyze");
     ResultSet executed;
     RFV_ASSIGN_OR_RETURN(
-        executed, ExecuteSelect(*stmt.select, /*allow_rewrite=*/true));
+        executed,
+        ExecuteSelect(*stmt.select, /*allow_rewrite=*/true, options));
     std::string text = "EXPLAIN ANALYZE (" +
                        std::to_string(executed.NumRows()) + " rows)\n";
     const std::string phases = executed.PhasesToString();
@@ -381,11 +400,11 @@ Result<ResultSet> Database::ExecuteExplain(const Statement& stmt) {
   // query, including when the verdict was "no rewrite" (the
   // per-candidate record prints without tracing enabled).
   std::string text;
-  if (options_.enable_view_rewrite) {
+  if (options.enable_view_rewrite) {
     RewriteOptions rewrite_options;
-    rewrite_options.variant = options_.rewrite_variant;
-    rewrite_options.force_method = options_.force_method;
-    rewrite_options.use_cost_model = options_.use_cost_model;
+    rewrite_options.variant = options.rewrite_variant;
+    rewrite_options.force_method = options.force_method;
+    rewrite_options.use_cost_model = options.use_cost_model;
     RewriteDecision decision;
     std::optional<RewriteResult> rewrite;
     RFV_ASSIGN_OR_RETURN(rewrite, rewriter_.TryRewrite(*stmt.select,
@@ -488,12 +507,13 @@ Result<std::string> Database::ExplainDml(const Statement& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
-                                          bool allow_rewrite) {
-  if (allow_rewrite && options_.enable_view_rewrite) {
+                                          bool allow_rewrite,
+                                          const Options& options) {
+  if (allow_rewrite && options.enable_view_rewrite) {
     RewriteOptions rewrite_options;
-    rewrite_options.variant = options_.rewrite_variant;
-    rewrite_options.force_method = options_.force_method;
-    rewrite_options.use_cost_model = options_.use_cost_model;
+    rewrite_options.variant = options.rewrite_variant;
+    rewrite_options.force_method = options.force_method;
+    rewrite_options.use_cost_model = options.use_cost_model;
     const SteadyClock::time_point rewrite_start = SteadyClock::now();
     RewriteDecision decision;
     std::optional<RewriteResult> rewrite;
@@ -504,7 +524,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     // advisor's evidence of what the rewriter considered and why. Only
     // the outermost recognizable query fills it (EXPLAIN ANALYZE and
     // CREATE VIEW reach here through the same active event).
-    if (active_event_ != nullptr && active_event_->candidates.empty()) {
+    if (tls_active_event != nullptr && tls_active_event->candidates.empty()) {
       for (const CandidateVerdict& v : decision.verdicts) {
         QueryEventCandidate c;
         c.view = v.view_name;
@@ -514,9 +534,9 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
         if (v.cost.has_value()) c.cost = v.cost->total;
         c.detail = v.detail;
         if (v.chosen && v.cost.has_value()) {
-          active_event_->cost_estimate = v.cost->total;
+          tls_active_event->cost_estimate = v.cost->total;
         }
-        active_event_->candidates.push_back(std::move(c));
+        tls_active_event->candidates.push_back(std::move(c));
       }
     }
     if (rewrite.has_value()) {
@@ -527,7 +547,8 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
       }
       ResultSet rs;
       RFV_ASSIGN_OR_RETURN(
-          rs, ExecuteSelect(*rewritten.select, /*allow_rewrite=*/false));
+          rs,
+          ExecuteSelect(*rewritten.select, /*allow_rewrite=*/false, options));
       rs.SetRewriteInfo(DerivationMethodName(rewrite->choice.method),
                         rewrite->choice.view->view_name, rewrite->sql);
       // The rewrite decision happened before the inner phases.
@@ -539,7 +560,8 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     }
     // Fall through to the base-data path, keeping the miss's cost
     // visible in the phase report.
-    Result<ResultSet> rs = ExecuteSelect(stmt, /*allow_rewrite=*/false);
+    Result<ResultSet> rs =
+        ExecuteSelect(stmt, /*allow_rewrite=*/false, options);
     if (rs.ok()) {
       std::vector<std::pair<std::string, int64_t>> phases;
       phases.emplace_back("rewrite", rewrite_ns);
@@ -568,13 +590,13 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     // Build and run the physical plan here (rather than through
     // ExecutePlan) so the operator tree survives long enough to harvest
     // its per-operator metrics into the result.
-    RFV_ASSIGN_OR_RETURN(root, BuildPhysicalPlan(*plan, options_.exec));
+    RFV_ASSIGN_OR_RETURN(root, BuildPhysicalPlan(*plan, options.exec));
   }
   const int64_t plan_ns = ElapsedNs(plan_start);
   const SteadyClock::time_point exec_start = SteadyClock::now();
   std::vector<Row> rows;
   RFV_ASSIGN_OR_RETURN(
-      rows, ExecuteToVector(root.get(), options_.exec.use_batch_execution));
+      rows, ExecuteToVector(root.get(), options.exec.use_batch_execution));
   const int64_t exec_ns = ElapsedNs(exec_start);
   ResultSet rs(plan->schema, std::move(rows));
   rs.SetMetrics(CollectMetrics(*root));
@@ -583,6 +605,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
 }
 
 Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   Schema schema;
   std::vector<std::string> pk_columns;
   for (const ColumnSpec& col : stmt.columns) {
@@ -603,6 +626,7 @@ Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (catalog_.IsVirtualName(stmt.table_name)) {
     return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
                                    " is read-only");
@@ -615,6 +639,7 @@ Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (catalog_.IsVirtualName(stmt.table_name)) {
     return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
                                    " is read-only");
@@ -640,6 +665,9 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
   const Schema empty_schema;
   const Row empty_row;
   int64_t inserted = 0;
+  // One snapshot commit for the whole statement: concurrent readers see
+  // either none or all of a multi-row INSERT.
+  Table::WriteGuard guard(table);
   for (const std::vector<AstExprPtr>& row_exprs : stmt.rows) {
     if (row_exprs.size() != targets.size()) {
       return Status::InvalidArgument(
@@ -661,6 +689,7 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (catalog_.IsVirtualName(stmt.table_name)) {
     return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
                                    " is read-only");
@@ -710,6 +739,9 @@ Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
     }
     updates.emplace_back(r, std::move(updated));
   }
+  // Statement-granular commit: a reader never sees a half-applied
+  // multi-row UPDATE.
+  Table::WriteGuard guard(table);
   for (auto& [r, row] : updates) {
     RFV_RETURN_IF_ERROR(table->UpdateRow(r, std::move(row)));
   }
@@ -717,6 +749,7 @@ Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (catalog_.IsVirtualName(stmt.table_name)) {
     return Status::InvalidArgument("system view " + ToLower(stmt.table_name) +
                                    " is read-only");
@@ -747,14 +780,18 @@ Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
     }
     victims.push_back(r);
   }
-  // Delete from the back so earlier row ids stay valid.
+  // Delete from the back so earlier row ids stay valid; one snapshot
+  // commit for the whole statement.
+  Table::WriteGuard guard(table);
   for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
     RFV_RETURN_IF_ERROR(table->DeleteRow(*it));
   }
   return ResultSet::ForDml(static_cast<int64_t>(victims.size()));
 }
 
-Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
+Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt,
+                                              const Options& options) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (!stmt.materialized) {
     return Status::NotSupported(
         "only MATERIALIZED views are supported (the paper's subject)");
@@ -784,7 +821,8 @@ Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
 
   // Generic materialization: run the query, snapshot the result.
   ResultSet rs;
-  RFV_ASSIGN_OR_RETURN(rs, ExecuteSelect(*stmt.query, /*allow_rewrite=*/true));
+  RFV_ASSIGN_OR_RETURN(
+      rs, ExecuteSelect(*stmt.query, /*allow_rewrite=*/true, options));
   Schema schema;
   for (size_t i = 0; i < rs.schema().NumColumns(); ++i) {
     const ColumnDef& col = rs.schema().column(i);
@@ -797,6 +835,10 @@ Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
     table = *r;
   }
   std::vector<Row> rows = rs.rows();
+  // The new table is visible in the catalog from CreateTable on; the
+  // bracket keeps a reader that binds it mid-fill on the empty image
+  // rather than a partial one.
+  Table::WriteGuard guard(table);
   RFV_RETURN_IF_ERROR(table->InsertBatch(std::move(rows)));
   return ResultSet::ForDml(static_cast<int64_t>(table->NumRows()));
 }
@@ -805,6 +847,7 @@ Result<ResultSet> Database::ExecuteAnalyze(const AnalyzeStmt& stmt) {
   // ANALYZE [table]: recompute full column statistics (distinct counts,
   // exact ranges) for one table or for every catalog table — including
   // materialized view content tables, which live in the same catalog.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   TraceSpan span("analyze");
   static Counter* analyzes = MetricsRegistry::Global().GetCounter(
       "rfv_analyze_runs_total", {},
@@ -829,6 +872,7 @@ Result<ResultSet> Database::ExecuteAnalyze(const AnalyzeStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteDropTable(const DropTableStmt& stmt) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (views_.FindView(ToLower(stmt.table_name)) != nullptr) {
     RFV_RETURN_IF_ERROR(views_.DropView(stmt.table_name));
     return ResultSet::ForDml(0);

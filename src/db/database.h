@@ -1,10 +1,13 @@
 #ifndef RFVIEW_DB_DATABASE_H_
 #define RFVIEW_DB_DATABASE_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/status.h"
+#include "db/admission.h"
 #include "db/query_log.h"
 #include "db/result_set.h"
 #include "db/system_views.h"
@@ -69,8 +72,16 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Executes one SQL statement.
+  /// Executes one SQL statement under the engine-default options().
   Result<ResultSet> Execute(const std::string& sql);
+
+  /// Executes one SQL statement under caller-supplied options — the
+  /// per-session entry point (see db/session.h). Thread-safe: SELECTs
+  /// from any number of threads run concurrently against pinned table
+  /// snapshots; DML/DDL statements serialize on the engine write mutex.
+  /// Every call passes the admission controller first (concurrent-query
+  /// cap; excess callers queue).
+  Result<ResultSet> Execute(const std::string& sql, const Options& options);
 
   /// Executes a `;`-separated script, discarding SELECT results.
   Status ExecuteScript(const std::string& sql);
@@ -96,19 +107,28 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   ViewManager* view_manager() { return &views_; }
   const Rewriter& rewriter() const { return rewriter_; }
+  /// Engine-default options, used by the single-argument Execute().
+  /// Mutate only from one thread at a time (sessions carry their own
+  /// copy — see db/session.h).
   Options& options() { return options_; }
+  /// Concurrent-query admission: cap + queue-depth/running metrics.
+  AdmissionController* admission() { return &admission_; }
 
  private:
-  Result<ResultSet> ExecuteStatement(const Statement& stmt);
-  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, bool allow_rewrite);
-  Result<ResultSet> ExecuteExplain(const Statement& stmt);
+  Result<ResultSet> ExecuteStatement(const Statement& stmt,
+                                     const Options& options);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, bool allow_rewrite,
+                                  const Options& options);
+  Result<ResultSet> ExecuteExplain(const Statement& stmt,
+                                   const Options& options);
   Result<std::string> ExplainDml(const Statement& stmt);
   Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
   Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
   Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
-  Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt);
+  Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt,
+                                      const Options& options);
   Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
   Result<ResultSet> ExecuteAnalyze(const AnalyzeStmt& stmt);
 
@@ -118,11 +138,14 @@ class Database {
   Options options_;
   QueryLog query_log_;
   SystemViewProvider system_views_;
-  /// Session-scoped id of the next Execute call (rfv_system.queries key).
-  int64_t next_query_id_ = 1;
-  /// The event Execute() is currently building; ExecuteSelect fills its
-  /// rewrite candidates through this. Null outside Execute().
-  QueryEvent* active_event_ = nullptr;
+  AdmissionController admission_;
+  /// Serializes every mutating statement (DML, DDL, ANALYZE, view
+  /// maintenance) — the single-writer half of the concurrency model.
+  /// Taken inside each Execute* mutator, never recursively (ExplainDml
+  /// and CREATE VIEW reach mutators without holding it).
+  std::mutex write_mu_;
+  /// Id of the next Execute call (rfv_system.queries key).
+  std::atomic<int64_t> next_query_id_{1};
 };
 
 }  // namespace rfv

@@ -1,0 +1,63 @@
+#include "db/session.h"
+
+#include <atomic>
+
+#include "common/metrics_registry.h"
+#include "parser/parser.h"
+
+namespace rfv {
+
+namespace {
+
+int64_t NextSessionId() {
+  static std::atomic<int64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Session::Session(Database* db)
+    : db_(db), id_(NextSessionId()), options_(db->options()) {
+  static Counter* sessions = MetricsRegistry::Global().GetCounter(
+      "rfv_sessions_opened_total", {},
+      "Sessions opened against any Database in this process");
+  sessions->Increment();
+}
+
+Result<ResultSet> Session::Execute(const std::string& sql) {
+  ++statements_executed_;
+  Result<ResultSet> result = db_->Execute(sql, options_);
+  if (!result.ok()) {
+    last_error_ = result.status();
+  } else {
+    last_error_ = Status::OK();
+  }
+  return result;
+}
+
+Status Session::Prepare(const std::string& sql) {
+  // Parse-validate now so ExecutePrepared can't fail on syntax; binding
+  // stays deferred — the referenced tables may legitimately appear
+  // later (prepare-then-DDL is a valid session script).
+  Result<Statement> parsed = Parser::ParseStatement(sql);
+  if (!parsed.ok()) {
+    last_error_ = parsed.status();
+    return parsed.status();
+  }
+  prepared_sql_ = sql;
+  has_prepared_ = true;
+  last_error_ = Status::OK();
+  return Status::OK();
+}
+
+Result<ResultSet> Session::ExecutePrepared() {
+  if (!has_prepared_) {
+    Status error =
+        Status::InvalidArgument("no prepared statement in this session");
+    last_error_ = error;
+    return error;
+  }
+  return Execute(prepared_sql_);
+}
+
+}  // namespace rfv

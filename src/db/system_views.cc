@@ -210,11 +210,13 @@ std::vector<Row> SystemViewProvider::MetricsRows() const {
     row.Append(Value::String(m.labels));
     row.Append(Value::String(m.kind == MetricSnapshot::Kind::kCounter
                                  ? "counter"
-                                 : "histogram"));
+                                 : m.kind == MetricSnapshot::Kind::kGauge
+                                       ? "gauge"
+                                       : "histogram"));
     row.Append(Value::Int(m.count));
-    row.Append(m.kind == MetricSnapshot::Kind::kCounter
-                   ? Value::Null()
-                   : Value::Double(m.sum_seconds));
+    row.Append(m.kind == MetricSnapshot::Kind::kHistogram
+                   ? Value::Double(m.sum_seconds)
+                   : Value::Null());
     row.Append(Value::String(m.help));
     rows.push_back(std::move(row));
   }
@@ -262,7 +264,7 @@ std::vector<Row> SystemViewProvider::TableStatsRows() const {
     const Result<Table*> table = catalog_->GetTable(name);
     if (!table.ok()) continue;
     const Schema& schema = (*table)->schema();
-    const TableStats& stats = (*table)->stats();
+    const TableStats stats = (*table)->StatsSnapshot();
     for (size_t c = 0; c < schema.NumColumns(); ++c) {
       // TableStats::columns tracks the schema lazily; missing entries
       // mean "no detail yet", which renders the same as empty stats.

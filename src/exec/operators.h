@@ -12,17 +12,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "exec/executor.h"
 #include "expr/expr.h"
 #include "storage/table.h"
+#include "storage/table_snapshot.h"
 
 namespace rfv {
 
-/// Full scan over a base table. Reads the table's row store directly;
-/// tables must not be mutated while a scan is open — enforced: Open
-/// snapshots the table's mutation epoch and any Next/NextBatch after a
-/// DML statement landed returns ExecutionError instead of reading
-/// freed/compacted rows.
+/// Full scan over a base table. Open pins the table's committed
+/// snapshot (chunked copy-on-write image) plus a reader epoch, so the
+/// scan reads a stable statement-granular image of the table in all
+/// three pull styles while concurrent DML mutates the live row store.
+/// Close releases the pin, letting the EpochManager reclaim superseded
+/// snapshots.
 class TableScanOp : public PhysicalOperator {
  public:
   TableScanOp(Schema schema, Table* table)
@@ -39,12 +42,12 @@ class TableScanOp : public PhysicalOperator {
   Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
-  /// ExecutionError when the table mutated since OpenImpl.
-  Status CheckEpoch() const;
-
   Table* table_;
   size_t pos_ = 0;
-  uint64_t open_epoch_ = 0;
+  /// The stable image this scan reads; pinned in OpenImpl.
+  TableSnapshotPtr snap_;
+  /// Reader epoch pin held for the scan's lifetime.
+  EpochGuard epoch_guard_{nullptr};
   /// Vector path: the projection handed to NextVector callers.
   VectorProjection vp_;
 };

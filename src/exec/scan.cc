@@ -6,50 +6,43 @@ namespace rfv {
 
 Status TableScanOp::OpenImpl() {
   pos_ = 0;
-  open_epoch_ = table_->mutation_epoch();
-  return Status::OK();
-}
-
-Status TableScanOp::CheckEpoch() const {
-  if (table_->mutation_epoch() != open_epoch_) {
-    return Status::ExecutionError("table '" + table_->name() +
-                                  "' was mutated while a scan was open");
-  }
+  // Pin a reader epoch *before* taking the snapshot pointer: the pin
+  // keeps the EpochManager from reclaiming anything retired from here
+  // on, and the shared_ptr keeps this particular snapshot alive even if
+  // the slot table was full. Re-Open (pipeline restarts) re-pins, so a
+  // restarted scan observes DML committed since the first Open — same
+  // statement-granular semantics as a fresh scan.
+  epoch_guard_ = EpochGuard();
+  snap_ = table_->PinSnapshot();
   return Status::OK();
 }
 
 Status TableScanOp::NextImpl(Row* row, bool* eof) {
-  RFV_RETURN_IF_ERROR(CheckEpoch());
-  if (pos_ >= table_->NumRows()) {
+  if (pos_ >= snap_->num_rows()) {
     *eof = true;
     return Status::OK();
   }
-  *row = table_->row(pos_++);
+  *row = snap_->row(pos_++);
   *eof = false;
   return Status::OK();
 }
 
 Status TableScanOp::NextBatchImpl(RowBatch* batch, bool* eof) {
-  RFV_RETURN_IF_ERROR(CheckEpoch());
-  const size_t n = table_->NumRows();
+  const size_t n = snap_->num_rows();
   while (pos_ < n && !batch->full()) {
-    batch->Push(table_->row(pos_++));
+    batch->Push(snap_->row(pos_++));
   }
   *eof = pos_ >= n;
   return Status::OK();
 }
 
 Status TableScanOp::NextVectorImpl(VectorProjection** out, bool* eof) {
-  // Epoch check at entry, exactly like the row and batch paths: a
-  // mutation between vectors aborts the scan before any stale row is
-  // transposed.
-  RFV_RETURN_IF_ERROR(CheckEpoch());
-  const size_t n = table_->NumRows();
+  const size_t n = snap_->num_rows();
   const size_t count = std::min<size_t>(RowBatch::kDefaultCapacity, n - pos_);
   const size_t num_cols = schema_.NumColumns();
   vp_.Reset(num_cols, count);
   for (size_t i = 0; i < count; ++i) {
-    const Row& row = table_->row(pos_ + i);
+    const Row& row = snap_->row(pos_ + i);
     for (size_t c = 0; c < num_cols; ++c) vp_.column(c).SetValue(i, row[c]);
   }
   pos_ += count;

@@ -14,7 +14,9 @@ constexpr double kRangeSelectivity = 0.25;
 /// base-table scan with analyzed statistics; -1 otherwise.
 int64_t DistinctOf(const LogicalPlan& input, size_t index) {
   if (input.kind != PlanKind::kScan || input.table == nullptr) return -1;
-  const TableStats& stats = input.table->stats();
+  // Copy under the table lock: estimation runs on the concurrent read
+  // path while DML updates stats in place.
+  const TableStats stats = input.table->StatsSnapshot();
   if (index >= stats.columns.size()) return -1;
   return stats.columns[index].distinct_count;
 }
@@ -87,7 +89,7 @@ double Estimate(LogicalPlan* plan) {
   switch (plan->kind) {
     case PlanKind::kScan:
       est = plan->table != nullptr
-                ? static_cast<double>(plan->table->stats().row_count)
+                ? static_cast<double>(plan->table->StatsSnapshot().row_count)
                 : 0;
       break;
     case PlanKind::kFilter:

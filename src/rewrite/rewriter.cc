@@ -229,15 +229,17 @@ PatternStats Rewriter::StatsForView(const SequenceViewDef& view) const {
   stats.indexed = view.indexed;
   Result<Table*> content = catalog_->GetTable(view.view_name);
   if (content.ok()) {
-    stats.content_rows = (*content)->stats().row_count;
-    stats.stale = (*content)->stats().AnyStale();
+    // One coherent copy: pricing runs on the concurrent read path while
+    // maintenance updates these fields under the table lock.
+    const TableStats content_stats = (*content)->StatsSnapshot();
+    stats.content_rows = content_stats.row_count;
+    stats.stale = content_stats.AnyStale();
     // Position-column statistics price the index-hull and band-join
     // alternatives (PatternStats::PosDensity).
     const std::optional<size_t> pos_idx =
         (*content)->schema().TryFindColumn("", view.order_column);
-    if (pos_idx.has_value() &&
-        *pos_idx < (*content)->stats().columns.size()) {
-      const ColumnStats& pos = (*content)->stats().columns[*pos_idx];
+    if (pos_idx.has_value() && *pos_idx < content_stats.columns.size()) {
+      const ColumnStats& pos = content_stats.columns[*pos_idx];
       if (pos.has_range) {
         stats.pos_min = pos.min_value;
         stats.pos_max = pos.max_value;
@@ -248,7 +250,7 @@ PatternStats Rewriter::StatsForView(const SequenceViewDef& view) const {
     stats.content_rows = view.n;
   }
   Result<Table*> base = catalog_->GetTable(view.base_table);
-  if (base.ok()) stats.base_rows = (*base)->stats().row_count;
+  if (base.ok()) stats.base_rows = (*base)->StatsSnapshot().row_count;
   return stats;
 }
 

@@ -22,6 +22,7 @@ bool SplitQualified(const std::string& name, std::string* schema,
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   const std::string key = ToLower(name);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (IsVirtualName(key)) {
     return Status::InvalidArgument("schema '" + key.substr(0, key.find('.')) +
                                    "' is reserved for system views");
@@ -37,6 +38,9 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
   const std::string key = ToLower(name);
+  // Recursive: serving a virtual name calls back into GetTable for the
+  // stored tables the system-view provider reads.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const auto it = tables_.find(key);
   if (it != tables_.end()) return it->second.get();
 
@@ -77,6 +81,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 
 bool Catalog::HasTable(const std::string& name) const {
   const std::string key = ToLower(name);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (tables_.count(key) > 0) return true;
   std::string schema_name;
   std::string table_name;
@@ -89,6 +94,7 @@ bool Catalog::HasTable(const std::string& name) const {
 
 Status Catalog::DropTable(const std::string& name) {
   const std::string key = ToLower(name);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (IsVirtualName(key)) {
     return Status::InvalidArgument("system view " + key +
                                    " cannot be dropped");
@@ -102,6 +108,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -110,6 +117,7 @@ std::vector<std::string> Catalog::TableNames() const {
 
 void Catalog::RegisterVirtualSchema(const std::string& schema_name,
                                     VirtualTableProvider* provider) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   virtual_schemas_[ToLower(schema_name)] = provider;
 }
 
@@ -117,10 +125,12 @@ bool Catalog::IsVirtualName(const std::string& name) const {
   std::string schema_name;
   std::string table_name;
   if (!SplitQualified(ToLower(name), &schema_name, &table_name)) return false;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return virtual_schemas_.count(schema_name) > 0;
 }
 
 std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [schema_name, provider] : virtual_schemas_) {
     for (const std::string& table : provider->VirtualTableNames()) {

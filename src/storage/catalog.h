@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,11 @@ class Catalog {
   std::vector<std::string> VirtualTableNames() const;
 
  private:
+  /// Serializes map mutations (DDL, virtual-cache refills) against
+  /// concurrent lookups. Recursive because serving a virtual table
+  /// re-enters GetTable: the system-view provider reads stored tables
+  /// while the catalog materializes its snapshot.
+  mutable std::recursive_mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, VirtualTableProvider*> virtual_schemas_;
   /// Snapshot tables for virtual names, refilled on each GetTable so

@@ -1,6 +1,9 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "common/epoch.h"
 
 namespace rfv {
 
@@ -39,9 +42,12 @@ Status Table::ValidateAndCoerce(Row* row) const {
 
 Status Table::Insert(Row row) {
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
   const size_t row_id = rows_.size();
+  MarkDirtyFromLocked(row_id);
   rows_.push_back(std::move(row));
+  live_rows_.store(rows_.size(), std::memory_order_release);
   stats_.InsertRow(schema_, rows_.back());
   for (auto& index : indexes_) {
     if (!index->dirty()) {
@@ -55,12 +61,15 @@ Status Table::InsertBatch(std::vector<Row> rows) {
   for (Row& row : rows) {
     RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
   }
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  MarkDirtyFromLocked(rows_.size());
   rows_.reserve(rows_.size() + rows.size());
   for (Row& row : rows) {
     rows_.push_back(std::move(row));
     stats_.InsertRow(schema_, rows_.back());
   }
+  live_rows_.store(rows_.size(), std::memory_order_release);
   MarkIndexesDirty();
   return Status::OK();
 }
@@ -70,7 +79,9 @@ Status Table::UpdateRow(size_t row_id, Row row) {
     return Status::InvalidArgument("row id out of range");
   }
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&row));
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  MarkDirtyFromLocked(row_id);
   stats_.ReplaceRow(schema_, rows_[row_id], row);
   rows_[row_id] = std::move(row);
   MarkIndexesDirty();
@@ -87,7 +98,9 @@ Status Table::UpdateCell(size_t row_id, size_t column, Value value) {
   Row updated = rows_[row_id];
   updated[column] = std::move(value);
   RFV_RETURN_IF_ERROR(ValidateAndCoerce(&updated));
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  MarkDirtyFromLocked(row_id);
   stats_.ReplaceRow(schema_, rows_[row_id], updated);
   rows_[row_id] = std::move(updated);
   // Only indexes keyed on the changed column go stale — the paper's
@@ -103,16 +116,22 @@ Status Table::DeleteRow(size_t row_id) {
   if (row_id >= rows_.size()) {
     return Status::InvalidArgument("row id out of range");
   }
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  MarkDirtyFromLocked(row_id);
   stats_.RemoveRow(schema_, rows_[row_id]);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(row_id));
+  live_rows_.store(rows_.size(), std::memory_order_release);
   MarkIndexesDirty();
   return Status::OK();
 }
 
 void Table::Truncate() {
-  ++mutation_epoch_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  MarkDirtyFromLocked(0);
   rows_.clear();
+  live_rows_.store(0, std::memory_order_release);
   stats_.Clear();
   MarkIndexesDirty();
 }
@@ -133,6 +152,11 @@ Status Table::CreateIndex(const std::string& index_name,
 }
 
 OrderedIndex* Table::GetIndexOnColumn(size_t column) {
+  // Serialize rebuilds so two concurrent SELECTs racing to warm the same
+  // index don't build it twice over each other's state. The returned
+  // pointer itself is only isolated against DML by the engine-level
+  // write mutex, not by snapshots (documented limitation, DESIGN §14).
+  std::lock_guard<std::mutex> lock(snap_mu_);
   for (auto& index : indexes_) {
     if (index->column() != column) continue;
     if (index->dirty()) {
@@ -154,6 +178,89 @@ bool Table::HasIndexOnColumn(size_t column) const {
 
 void Table::MarkIndexesDirty() {
   for (auto& index : indexes_) index->MarkDirty();
+}
+
+TableStats Table::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return stats_;
+}
+
+void Table::Analyze() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  stats_.Analyze(schema_, rows_);
+}
+
+TableSnapshotPtr Table::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (writer_depth_ == 0) RefreshSnapshotLocked();
+  if (snapshot_ == nullptr) {
+    // A write bracket opened before any reader ever pinned; the
+    // committed pre-statement image is empty only if the table never
+    // held committed rows, which BeginWrite guarantees by refreshing.
+    snapshot_ = std::make_shared<const TableSnapshot>();
+  }
+  return snapshot_;
+}
+
+void Table::BeginWrite() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (writer_depth_ == 0) {
+    // Capture the committed image before the statement mutates anything,
+    // so concurrent PinSnapshot() calls during the bracket see it.
+    RefreshSnapshotLocked();
+  }
+  ++writer_depth_;
+}
+
+void Table::EndWrite() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (--writer_depth_ == 0) {
+    // Publish the statement's effects as one atomic snapshot flip.
+    RefreshSnapshotLocked();
+  }
+}
+
+void Table::MarkDirtyFromLocked(size_t row_id) {
+  dirty_from_ = std::min(dirty_from_, row_id);
+}
+
+void Table::RefreshSnapshotLocked() const {
+  const uint64_t epoch = mutation_epoch_.load(std::memory_order_acquire);
+  if (snapshot_ != nullptr && snapshot_->epoch() == epoch) return;
+
+  constexpr size_t kChunkRows = TableSnapshot::kChunkRows;
+  // Rows below dirty_from_ are byte-identical to the published snapshot,
+  // so every *full* chunk entirely below it can be shared; everything
+  // from the first shared-boundary row onward is copied fresh.
+  size_t shared_chunks = 0;
+  if (snapshot_ != nullptr) {
+    const size_t unchanged = std::min(dirty_from_, rows_.size());
+    shared_chunks = std::min(unchanged / kChunkRows,
+                             snapshot_->num_rows() / kChunkRows);
+    shared_chunks = std::min(shared_chunks, snapshot_->num_chunks());
+  }
+
+  std::vector<std::shared_ptr<const RowChunk>> chunks;
+  chunks.reserve((rows_.size() + kChunkRows - 1) / kChunkRows);
+  for (size_t c = 0; c < shared_chunks; ++c) chunks.push_back(snapshot_->chunk(c));
+  for (size_t pos = shared_chunks * kChunkRows; pos < rows_.size();
+       pos += kChunkRows) {
+    auto chunk = std::make_shared<RowChunk>();
+    const size_t end = std::min(pos + kChunkRows, rows_.size());
+    chunk->rows.assign(rows_.begin() + static_cast<ptrdiff_t>(pos),
+                       rows_.begin() + static_cast<ptrdiff_t>(end));
+    chunks.push_back(std::move(chunk));
+  }
+
+  TableSnapshotPtr retired = std::move(snapshot_);
+  snapshot_ = std::make_shared<const TableSnapshot>(std::move(chunks),
+                                                    rows_.size(), epoch);
+  dirty_from_ = static_cast<size_t>(-1);
+  if (retired != nullptr) {
+    EpochManager& manager = EpochManager::Global();
+    manager.Retire(std::static_pointer_cast<const void>(std::move(retired)));
+    manager.Reclaim();
+  }
 }
 
 }  // namespace rfv

@@ -1,8 +1,10 @@
 #ifndef RFVIEW_STORAGE_TABLE_H_
 #define RFVIEW_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "common/status.h"
 #include "stats/table_stats.h"
 #include "storage/index.h"
+#include "storage/table_snapshot.h"
 
 namespace rfv {
 
@@ -20,6 +23,17 @@ namespace rfv {
 /// Row ids are dense positions in the store; DELETE compacts immediately,
 /// so row ids are only stable between DML statements (the executor never
 /// holds row ids across statements).
+///
+/// Concurrency model (single writer, many readers): all mutations are
+/// serialized by the caller (Database holds one write mutex per engine);
+/// readers never touch `rows_` directly but pin an immutable
+/// `TableSnapshot` via PinSnapshot(). Snapshots are rebuilt lazily with
+/// chunk-level copy-on-write and published at *statement* granularity:
+/// a writer brackets each DML statement with BeginWrite()/EndWrite()
+/// (see WriteGuard), and PinSnapshot() during the bracket returns the
+/// last committed image, so a multi-row statement is never observed
+/// half-applied. Superseded snapshots are retired into the global
+/// EpochManager and reclaimed once no reader epoch can see them.
 class Table {
  public:
   Table(std::string name, Schema schema)
@@ -31,7 +45,7 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const { return live_rows_.load(std::memory_order_acquire); }
   const Row& row(size_t row_id) const { return rows_[row_id]; }
   const std::vector<Row>& rows() const { return rows_; }
 
@@ -63,7 +77,9 @@ class Table {
                      const std::string& column_name);
 
   /// Returns a usable (non-dirty) index over `column`, rebuilding it if
-  /// necessary; nullptr when no index exists on that column.
+  /// necessary; nullptr when no index exists on that column. Rebuilds
+  /// are serialized, but returned indexes are NOT isolated against
+  /// concurrent DML the way snapshots are (see DESIGN §14).
   OrderedIndex* GetIndexOnColumn(size_t column);
 
   /// True when some index exists on `column` (without forcing a rebuild).
@@ -75,20 +91,58 @@ class Table {
 
   /// Statistics maintained incrementally by every DML path above (row
   /// count stays exact; see TableStats for the widen-only discipline).
+  /// Writer-side accessor — concurrent readers use StatsSnapshot().
   const TableStats& stats() const { return stats_; }
+
+  /// Coherent copy of the statistics, taken under the table lock. The
+  /// planner/rewriter/system-view read paths use this so a concurrent
+  /// DML statement can never expose half-updated stats.
+  TableStats StatsSnapshot() const;
 
   /// Full statistics recomputation — the `ANALYZE` statement. Also run
   /// by the view layer after materialize/refresh so view content tables
   /// always carry exact distinct counts and tight ranges.
-  void Analyze() { stats_.Analyze(schema_, rows_); }
+  void Analyze();
 
   /// Counter bumped by every mutation of the row store (Insert,
   /// InsertBatch, UpdateRow, UpdateCell, DeleteRow, Truncate) — but not
-  /// by read-side maintenance like Analyze or CreateIndex. Open scans
-  /// snapshot it and refuse to continue (ExecutionError) when it moved:
-  /// row ids are positional, so DML under an open scan would silently
-  /// skip or repeat rows.
-  uint64_t mutation_epoch() const { return mutation_epoch_; }
+  /// by read-side maintenance like Analyze or CreateIndex. Snapshots are
+  /// stamped with it, so it doubles as the staleness marker that
+  /// triggers a copy-on-write refresh on the next pin.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the current committed snapshot, refreshing it first (chunked
+  /// copy-on-write) when the row store moved on and no write bracket is
+  /// open. During an open BeginWrite/EndWrite bracket the *last
+  /// committed* snapshot is returned, whatever the live store looks
+  /// like mid-statement. Never returns nullptr.
+  TableSnapshotPtr PinSnapshot() const;
+
+  /// Opens a statement-granular write bracket: captures the committed
+  /// image for concurrent readers, then lets the caller mutate freely.
+  /// Brackets nest (maintenance cascades re-enter on the same table);
+  /// only the outermost EndWrite publishes a fresh snapshot and retires
+  /// the old one into the EpochManager.
+  void BeginWrite();
+  void EndWrite();
+
+  /// RAII BeginWrite/EndWrite bracket for one DML statement.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(Table* table) : table_(table) {
+      if (table_ != nullptr) table_->BeginWrite();
+    }
+    ~WriteGuard() {
+      if (table_ != nullptr) table_->EndWrite();
+    }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    Table* table_;
+  };
 
  private:
   /// Validates a row against the schema and coerces int→double where the
@@ -97,12 +151,37 @@ class Table {
 
   void MarkIndexesDirty();
 
+  /// Rebuilds `snapshot_` from `rows_` when stale, sharing every full
+  /// chunk below the first mutated row with the previous snapshot and
+  /// retiring the superseded snapshot. Caller holds snap_mu_.
+  void RefreshSnapshotLocked() const;
+
+  /// Records that rows at positions >= `row_id` may differ from the
+  /// published snapshot. Caller holds snap_mu_.
+  void MarkDirtyFromLocked(size_t row_id);
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<OrderedIndex>> indexes_;
   TableStats stats_;
-  uint64_t mutation_epoch_ = 0;
+  std::atomic<uint64_t> mutation_epoch_{0};
+
+  /// Lock-free mirror of rows_.size() for racy progress reads (exact
+  /// row counts on the read path come from the pinned snapshot).
+  std::atomic<size_t> live_rows_{0};
+
+  /// Guards snapshot publication state (and serializes mutations with
+  /// snapshot refresh; the engine-level write mutex already serializes
+  /// mutations with each other).
+  mutable std::mutex snap_mu_;
+  /// Last committed snapshot; lazily (re)built under snap_mu_.
+  mutable TableSnapshotPtr snapshot_;
+  /// First row position that may differ from snapshot_; SIZE_MAX when
+  /// the snapshot covers rows_ exactly.
+  mutable size_t dirty_from_ = static_cast<size_t>(-1);
+  /// Nesting depth of open write brackets.
+  int writer_depth_ = 0;
 };
 
 }  // namespace rfv

@@ -201,7 +201,7 @@ Result<size_t> PropagateBaseUpdate(ViewManager* views,
       // MIN/MAX windows clip to [1, n] (see sequence/compute.cc).
       int64_t next = std::max<int64_t>(from - l, 1);
       for (int64_t k = from; k <= to; ++k) {
-        const int64_t hi = std::min(k + h, def->n);
+        const int64_t hi = std::min(k + h, def->n.load());
         for (; next <= hi; ++next) {
           const double v = BaseValueAt(binding, next);
           while (!mono.empty() && (is_min ? mono.back().second >= v

@@ -1,12 +1,42 @@
 #ifndef RFVIEW_VIEW_VIEW_DEF_H_
 #define RFVIEW_VIEW_VIEW_DEF_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sequence/window_spec.h"
 
 namespace rfv {
+
+/// Copyable int64 cell with relaxed atomic access. A published
+/// SequenceViewDef's `n` is rewritten by maintenance (which holds the
+/// database write lock) while concurrent SELECTs read it lock-free
+/// (rewriter candidate matching, rfv_system.views) — each individual
+/// load/store must be atomic, but no ordering with other fields is
+/// needed: n only changes together with the content table, and a reader
+/// racing a refresh sees either the old or the new sequence length,
+/// both of which were true of some committed state.
+class RelaxedInt64 {
+ public:
+  RelaxedInt64(int64_t v = 0) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedInt64(const RelaxedInt64& other) : v_(other.load()) {}
+  RelaxedInt64& operator=(const RelaxedInt64& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedInt64& operator=(int64_t v) {
+    store(v);
+    return *this;
+  }
+  operator int64_t() const { return load(); }  // NOLINT: implicit by design
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_;
+};
 
 /// Metadata of a materialized reporting-function (sequence) view.
 ///
@@ -30,8 +60,9 @@ struct SequenceViewDef {
   WindowSpec window = WindowSpec::Cumulative();
 
   /// Number of raw positions n (largest partition for partitioned
-  /// views; per-partition sizes live in the content table).
-  int64_t n = 0;
+  /// views; per-partition sizes live in the content table). Atomic
+  /// cell: refreshed by maintenance while concurrent readers load it.
+  RelaxedInt64 n = 0;
 
   /// Whether an ordered index on `pos` was created ("with primary key
   /// index" in the paper's experiments).

@@ -94,6 +94,10 @@ Status ViewManager::Materialize(const SequenceViewDef& def, Table* content,
       partitions, ExtractPartitions(*base, order_col, value_col,
                                     partition_cols));
 
+  // Bracket the truncate-and-refill as one committed statement:
+  // concurrent readers keep scanning the previous content snapshot and
+  // never observe the empty or half-filled intermediate states.
+  Table::WriteGuard guard(content);
   content->Truncate();
   int64_t max_n = 0;
   std::vector<Row> rows;
@@ -145,7 +149,9 @@ Result<const SequenceViewDef*> ViewManager::CreateSequenceView(
     if (!r.ok()) return r.status();
     content = *r;
   }
-  Status status = Materialize(def, content, &def.n);
+  int64_t n = 0;
+  Status status = Materialize(def, content, &n);
+  def.n = n;
   if (!status.ok()) {
     (void)catalog_->DropTable(def.view_name);
     return status;
@@ -190,7 +196,11 @@ Status ViewManager::RefreshView(const std::string& view_name) {
   }
   Result<Table*> content = catalog_->GetTable(def->view_name);
   if (!content.ok()) return content.status();
-  RFV_RETURN_IF_ERROR(Materialize(*def, *content, &def->n));
+  // Fill a local, then publish through the atomic cell: concurrent
+  // SELECTs read def->n lock-free while this refresh runs.
+  int64_t n = 0;
+  RFV_RETURN_IF_ERROR(Materialize(*def, *content, &n));
+  def->n = n;
   NoteFullRefresh(def->view_name, static_cast<int64_t>((*content)->NumRows()));
   return Status::OK();
 }
@@ -200,7 +210,10 @@ Status ViewManager::DropView(const std::string& view_name) {
   for (auto it = views_.begin(); it != views_.end(); ++it) {
     if ((*it)->view_name == key) {
       views_.erase(it);
-      maintenance_.erase(key);
+      {
+        std::lock_guard<std::mutex> lock(maintenance_mu_);
+        maintenance_.erase(key);
+      }
       return catalog_->DropTable(key);
     }
   }
@@ -209,12 +222,14 @@ Status ViewManager::DropView(const std::string& view_name) {
 
 ViewMaintenanceCounters ViewManager::MaintenanceCounters(
     const std::string& view_name) const {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
   const auto it = maintenance_.find(ToLower(view_name));
   return it == maintenance_.end() ? ViewMaintenanceCounters{} : it->second;
 }
 
 void ViewManager::NoteFullRefresh(const std::string& view_name,
                                   int64_t rows_written) {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
   ViewMaintenanceCounters& c = maintenance_[ToLower(view_name)];
   ++c.full_refreshes;
   c.rows_written += rows_written;
@@ -222,6 +237,7 @@ void ViewManager::NoteFullRefresh(const std::string& view_name,
 
 void ViewManager::NoteIncrementalUpdate(const std::string& view_name,
                                         int64_t rows_written) {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
   ViewMaintenanceCounters& c = maintenance_[ToLower(view_name)];
   ++c.incremental_updates;
   c.rows_written += rows_written;

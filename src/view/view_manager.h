@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,7 +92,11 @@ class ViewManager {
 
   Catalog* catalog_;
   std::vector<std::unique_ptr<SequenceViewDef>> views_;
-  /// Lowered view name → maintenance counters.
+  /// Lowered view name → maintenance counters. Guarded by
+  /// maintenance_mu_: the counters are bumped by maintenance running
+  /// under the engine write lock but read by concurrent SELECTs over
+  /// rfv_system.views.
+  mutable std::mutex maintenance_mu_;
   std::map<std::string, ViewMaintenanceCounters> maintenance_;
 };
 

@@ -1,0 +1,138 @@
+// AdmissionController: cap enforcement, FIFO-ish queueing, ticket RAII,
+// cap raises waking parked callers, and the gauge/counter wiring.
+
+#include "db/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rfv {
+namespace {
+
+TEST(AdmissionTest, AdmitsUpToCapWithoutBlocking) {
+  AdmissionController admission(2);
+  AdmissionController::Ticket a = admission.Admit();
+  AdmissionController::Ticket b = admission.Admit();
+  EXPECT_EQ(admission.running(), 2);
+  EXPECT_EQ(admission.queue_depth(), 0);
+}
+
+TEST(AdmissionTest, ReleaseFreesSlot) {
+  AdmissionController admission(1);
+  {
+    AdmissionController::Ticket t = admission.Admit();
+    EXPECT_EQ(admission.running(), 1);
+  }
+  EXPECT_EQ(admission.running(), 0);
+}
+
+TEST(AdmissionTest, ExplicitReleaseIsIdempotent) {
+  AdmissionController admission(1);
+  AdmissionController::Ticket t = admission.Admit();
+  t.Release();
+  EXPECT_EQ(admission.running(), 0);
+  t.Release();  // no-op, not a double decrement
+  EXPECT_EQ(admission.running(), 0);
+}
+
+TEST(AdmissionTest, MoveTransfersSlot) {
+  AdmissionController admission(1);
+  AdmissionController::Ticket a = admission.Admit();
+  AdmissionController::Ticket b = std::move(a);
+  EXPECT_EQ(admission.running(), 1);
+  b.Release();
+  EXPECT_EQ(admission.running(), 0);
+}
+
+TEST(AdmissionTest, CallerBeyondCapQueuesUntilSlotFrees) {
+  AdmissionController admission(1);
+  AdmissionController::Ticket first = admission.Admit();
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&admission, &admitted] {
+    AdmissionController::Ticket t = admission.Admit();
+    admitted.store(true);
+  });
+
+  // The waiter must park, not sneak through.
+  while (admission.queue_depth() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(admission.running(), 1);
+
+  first.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission.running(), 0);
+  EXPECT_EQ(admission.queue_depth(), 0);
+}
+
+TEST(AdmissionTest, RaisingCapWakesQueuedCallers) {
+  AdmissionController admission(1);
+  AdmissionController::Ticket first = admission.Admit();
+
+  std::atomic<int> admitted{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&admission, &admitted, &release] {
+      AdmissionController::Ticket t = admission.Admit();
+      admitted.fetch_add(1);
+      // Hold the slot until the main thread saw all three running at
+      // once; a waiter must not decide the rendezvous happened itself —
+      // its ticket release would race the other waiter's observation.
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (admission.queue_depth() < 2) std::this_thread::yield();
+
+  admission.set_max_concurrent(3);
+  // `first` is still held here, so running()==3 means both queued
+  // waiters were woken and admitted by the cap raise alone.
+  while (admission.running() < 3) std::this_thread::yield();
+  release.store(true);
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(admitted.load(), 2);
+  EXPECT_EQ(admission.max_concurrent(), 3);
+}
+
+TEST(AdmissionTest, CapClampsToOne) {
+  AdmissionController admission(4);
+  admission.set_max_concurrent(0);
+  EXPECT_EQ(admission.max_concurrent(), 1);
+}
+
+TEST(AdmissionTest, NeverExceedsCapUnderContention) {
+  constexpr int kCap = 3;
+  constexpr int kThreads = 12;
+  constexpr int kRoundsEach = 50;
+  AdmissionController admission(kCap);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&admission, &inside, &peak] {
+      for (int r = 0; r < kRoundsEach; ++r) {
+        AdmissionController::Ticket t = admission.Admit();
+        const int now = inside.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::yield();
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(peak.load(), kCap);
+  EXPECT_GE(peak.load(), 1);
+  EXPECT_EQ(admission.running(), 0);
+  EXPECT_EQ(admission.queue_depth(), 0);
+}
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,161 @@
+// Thread-safety of the introspection paths under concurrent Execute:
+// the QueryLog ring, the Tracer retired ring, and the ViewManager
+// maintenance counters are each hammered by writer threads (executing
+// statements) while reader threads consume the introspection surface.
+// The assertions are deliberately coarse — counts, no crashes, no torn
+// reads — because the real checker here is TSan: the CI tsan leg runs
+// this binary and fails on any data race these interleavings expose.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+#include "db/database.h"
+#include "db/session.h"
+#include "test_util.h"
+
+namespace rfv {
+namespace {
+
+using testutil::MustExecute;
+
+TEST(IntrospectionConcurrencyTest, QueryLogRingUnderConcurrentExecute) {
+  Database db;
+  testutil::CreateSeqTable(db, 16);
+  constexpr int kWriters = 4;
+  constexpr int kQueriesEach = 40;
+
+  std::atomic<bool> stop{false};
+  // Readers: snapshot + JSONL export + capacity churn, all racing the
+  // appends from Execute's event finalization.
+  std::thread snapshotter([&db, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<QueryEvent> events = db.query_log()->Snapshot();
+      for (const QueryEvent& e : events) ASSERT_FALSE(e.kind.empty());
+      (void)db.WorkloadJsonl();
+    }
+  });
+  std::thread resizer([&db, &stop] {
+    size_t cap = 8;
+    while (!stop.load(std::memory_order_relaxed)) {
+      db.query_log()->SetCapacity(cap);
+      cap = cap == 8 ? 64 : 8;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&db] {
+      Session s(&db);
+      for (int q = 0; q < kQueriesEach; ++q) {
+        ASSERT_TRUE(s.Execute("SELECT pos, val FROM seq").ok());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  snapshotter.join();
+  resizer.join();
+
+  // Every Execute appended exactly one event (plus the 2 setup DDL/DML).
+  EXPECT_EQ(db.query_log()->total_appended(),
+            static_cast<int64_t>(kWriters) * kQueriesEach + 2);
+}
+
+TEST(IntrospectionConcurrencyTest, TracerRetiredRingUnderConcurrentExecute) {
+  Database db;
+  testutil::CreateSeqTable(db, 16);
+  constexpr int kWriters = 4;
+  constexpr int kQueriesEach = 25;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& trace : Tracer::Global().Retired()) {
+        for (const TraceEvent& e : trace->events()) {
+          ASSERT_FALSE(e.name.empty());
+        }
+      }
+      const auto latest = Tracer::Global().Latest();
+      if (latest != nullptr) (void)latest->ToChromeJson();
+    }
+  });
+  std::thread resizer([&stop] {
+    size_t cap = 4;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Tracer::Global().SetRingCapacity(cap);
+      cap = cap == 4 ? 32 : 4;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&db] {
+      Session s(&db);
+      s.options().enable_tracing = true;  // every query retires a trace
+      for (int q = 0; q < kQueriesEach; ++q) {
+        ASSERT_TRUE(s.Execute("SELECT pos, val FROM seq").ok());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  resizer.join();
+  Tracer::Global().SetRingCapacity(Tracer::kDefaultRingCapacity);
+}
+
+TEST(IntrospectionConcurrencyTest, MaintenanceCountersUnderConcurrentReads) {
+  Database db;
+  testutil::CreateSeqTable(db, 64);
+  MustExecute(db,
+              "CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val) OVER "
+              "(ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) "
+              "FROM seq");
+  constexpr int kRefreshes = 30;
+
+  std::atomic<bool> stop{false};
+  // Readers: the raw counter accessor and the SQL introspection view,
+  // racing RefreshView's counter bumps and content rewrites.
+  std::thread counter_reader([&db, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ViewMaintenanceCounters counters =
+          db.view_manager()->MaintenanceCounters("v");
+      ASSERT_GE(counters.full_refreshes, 0);
+      ASSERT_GE(counters.rows_written, 0);
+    }
+  });
+  std::thread sql_reader([&db, &stop] {
+    Session s(&db);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Result<ResultSet> rs = s.Execute(
+          "SELECT view_name, content_rows, full_refreshes, "
+          "maintenance_rows FROM rfv_system.views");
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      ASSERT_EQ(rs->rows().size(), 1u);
+    }
+  });
+
+  std::thread refresher([&db] {
+    for (int i = 0; i < kRefreshes; ++i) {
+      ASSERT_TRUE(db.view_manager()->RefreshView("v").ok());
+    }
+  });
+  refresher.join();
+  stop.store(true);
+  counter_reader.join();
+  sql_reader.join();
+
+  const ViewMaintenanceCounters counters =
+      db.view_manager()->MaintenanceCounters("v");
+  EXPECT_GE(counters.full_refreshes, kRefreshes);
+}
+
+}  // namespace
+}  // namespace rfv

@@ -1,0 +1,12 @@
+-- fuzz repro from the batch/band oracle campaign: a (1,1) view
+-- answering a (2,2) query via MaxOA drives the merge band join's full
+-- disjunction (BETWEEN hull + MOD-stride branches on both sides).
+-- The .cc twin (band_join_rewrite_test.cc) cross-checks band vs.
+-- band-disabled vs. native; this transcript pins "replays cleanly".
+CREATE TABLE t (pos INTEGER, val INTEGER);
+INSERT INTO t VALUES (1, 5), (2, -3), (3, 0), (4, 12), (5, 7),
+  (6, -9), (7, 4), (8, 1), (9, 6), (10, -2);
+CREATE MATERIALIZED VIEW v AS SELECT pos, SUM(val)
+  OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) FROM t;
+SELECT pos, SUM(val) OVER (ORDER BY pos
+  ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) FROM t ORDER BY pos;

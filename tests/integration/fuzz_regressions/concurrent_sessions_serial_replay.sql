@@ -1,0 +1,25 @@
+-- interleave seed1/iter0-style schedule, serial replay form — the
+-- artifact rfview_fuzz --interleave writes on a mismatch. Sessions are
+-- annotated `-- sN`; the replay tier executes the statements in
+-- schedule order on one connection (the serial reference of the
+-- interleave oracle). The racing twin lives in
+-- concurrent_scan_dml_test.cc and tests/db/serve_stress_test.cc.
+CREATE TABLE t (session INTEGER, pos INTEGER, val INTEGER);
+-- s0
+INSERT INTO t VALUES (0, 1, 17), (0, 2, -4);
+-- s1
+INSERT INTO t VALUES (1, 1, 30);
+-- s0
+SELECT pos, val FROM t WHERE session = 0;
+-- s1
+UPDATE t SET val = 8 WHERE session = 1 AND pos = 1;
+-- s0
+SELECT COUNT(*) FROM t;
+-- s1
+INSERT INTO t VALUES (1, 2, -11), (1, 3, 2);
+-- s0
+DELETE FROM t WHERE session = 0 AND pos = 1;
+-- s1
+SELECT pos, val FROM t WHERE session = 1;
+-- s0
+SELECT COUNT(*) FROM t;

@@ -1,0 +1,12 @@
+-- fuzz repro: seed 1, iteration 37 (minimized by the shrinker).
+-- Forced MinOA/MaxOA on a partitioned (view, query) pair used to plan
+-- the single-sequence self-join and collapse all partitions into one
+-- sequence. The .cc twin (minoa_partitioned_rewrite_test.cc) pins the
+-- exact rewrite verdicts; this transcript pins "replays cleanly".
+CREATE TABLE t (grp INTEGER, pos INTEGER, val INTEGER);
+INSERT INTO t VALUES (0, 1, 10), (0, 2, 20), (0, 3, 30), (1, 1, -5), (1, 2, 5);
+CREATE MATERIALIZED VIEW v0 AS SELECT grp, pos, SUM(val)
+  OVER (PARTITION BY grp ORDER BY pos
+        ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) FROM t;
+SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos
+  ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) FROM t ORDER BY grp, pos;

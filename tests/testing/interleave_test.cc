@@ -1,0 +1,73 @@
+// The concurrent-session interleave oracle: generator determinism,
+// schedule well-formedness, the oracle passing on the real engine, and
+// the transcript rendering.
+
+#include "testing/interleave.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rfv {
+namespace fuzzing {
+namespace {
+
+TEST(InterleaveGeneratorTest, DeterministicForSeedAndIndex) {
+  const InterleaveScenario a = GenerateInterleaveScenario(42, 7);
+  const InterleaveScenario b = GenerateInterleaveScenario(42, 7);
+  EXPECT_EQ(a.ToSqlScript(), b.ToSqlScript());
+  EXPECT_EQ(a.num_sessions, b.num_sessions);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+
+  const InterleaveScenario c = GenerateInterleaveScenario(42, 8);
+  EXPECT_NE(a.ToSqlScript(), c.ToSqlScript());
+}
+
+TEST(InterleaveGeneratorTest, SchedulesAreWellFormed) {
+  for (int index = 0; index < 20; ++index) {
+    const InterleaveScenario scenario = GenerateInterleaveScenario(3, index);
+    EXPECT_GE(scenario.num_sessions, 2);
+    EXPECT_LE(scenario.num_sessions, 4);
+    EXPECT_FALSE(scenario.setup.empty());
+    EXPECT_FALSE(scenario.steps.empty());
+    std::set<int> sessions_seen;
+    for (const InterleaveStep& step : scenario.steps) {
+      EXPECT_GE(step.session, 0);
+      EXPECT_LT(step.session, scenario.num_sessions);
+      EXPECT_FALSE(step.sql.empty());
+      sessions_seen.insert(step.session);
+    }
+    // Every session contributes at least the generator's 4-step floor.
+    EXPECT_EQ(static_cast<int>(sessions_seen.size()), scenario.num_sessions);
+  }
+}
+
+TEST(InterleaveOracleTest, CleanEnginePassesManySeeds) {
+  for (int index = 0; index < 10; ++index) {
+    const InterleaveScenario scenario = GenerateInterleaveScenario(11, index);
+    const InterleaveVerdict verdict = RunInterleaveScenario(scenario);
+    EXPECT_TRUE(verdict.ok())
+        << scenario.Id() << "\n" << verdict.Summary() << "\n"
+        << scenario.ToSqlScript();
+    EXPECT_GT(verdict.checks, 0) << scenario.Id();
+  }
+}
+
+TEST(InterleaveOracleTest, TranscriptNamesEverySessionStatement) {
+  const InterleaveScenario scenario = GenerateInterleaveScenario(5, 0);
+  const std::string script = scenario.ToSqlScript();
+  EXPECT_NE(script.find("CREATE TABLE t"), std::string::npos);
+  EXPECT_NE(script.find("-- s0"), std::string::npos);
+  EXPECT_NE(script.find("-- s1"), std::string::npos);
+  // One annotated statement per scheduled step.
+  size_t annotations = 0;
+  for (size_t pos = script.find("-- s"); pos != std::string::npos;
+       pos = script.find("-- s", pos + 1)) {
+    ++annotations;
+  }
+  EXPECT_EQ(annotations, scenario.steps.size());
+}
+
+}  // namespace
+}  // namespace fuzzing
+}  // namespace rfv
