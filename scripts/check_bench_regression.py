@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Guard-rails the A8 execution-mode sweep against a committed baseline.
+
+Usage: check_bench_regression.py <BENCH_derive.json> [baseline.json]
+
+Reads the bench-smoke JSON artifact (bench/json_reporter.h schema) and
+compares every benchmark named in the committed baseline
+(scripts/bench_baseline.json) against its recorded ns_per_op. A run
+fails the gate when it is more than `max_ratio` (default 2.0) times
+slower than baseline — wide enough to absorb CI-runner noise and the
+deliberately tiny --benchmark_min_time smoke runs, narrow enough to
+catch an accidental fallback from the vector join paths to the row
+paths (a >2.5x cliff on the tracked entries).
+
+Benchmarks present in the artifact but absent from the baseline are
+ignored (new benchmarks don't need a baseline entry to land); baseline
+entries missing from the artifact fail, so renames must update both.
+Exits non-zero with one line per violation.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__),
+                                "bench_baseline.json")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(f"usage: {sys.argv[0]} <BENCH_derive.json> [baseline.json]")
+    artifact_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) == 3 else DEFAULT_BASELINE
+
+    with open(artifact_path, encoding="utf-8") as f:
+        runs = {r["name"]: r for r in json.load(f)["benchmarks"]}
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    max_ratio = float(baseline.get("max_ratio", 2.0))
+    violations = []
+    for name, entry in sorted(baseline["benchmarks"].items()):
+        base_ns = float(entry["ns_per_op"])
+        run = runs.get(name)
+        if run is None:
+            violations.append(f"{name}: tracked in baseline but missing "
+                              f"from {artifact_path}")
+            continue
+        ns = float(run["ns_per_op"])
+        ratio = ns / base_ns if base_ns > 0 else float("inf")
+        status = "FAIL" if ratio > max_ratio else "ok"
+        print(f"{status:4} {name}: {ns / 1e6:.2f} ms vs baseline "
+              f"{base_ns / 1e6:.2f} ms ({ratio:.2f}x, limit {max_ratio}x)")
+        if ratio > max_ratio:
+            violations.append(f"{name}: {ratio:.2f}x slower than baseline "
+                              f"(limit {max_ratio}x)")
+
+    if violations:
+        sys.exit("bench regression gate failed:\n  " +
+                 "\n  ".join(violations))
+    print(f"bench regression gate passed "
+          f"({len(baseline['benchmarks'])} tracked entries)")
+
+
+if __name__ == "__main__":
+    main()

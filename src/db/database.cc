@@ -405,6 +405,7 @@ Result<ResultSet> Database::ExecuteExplain(const Statement& stmt,
     rewrite_options.variant = options.rewrite_variant;
     rewrite_options.force_method = options.force_method;
     rewrite_options.use_cost_model = options.use_cost_model;
+    rewrite_options.vector_exec = options.exec.use_vectorized_execution;
     RewriteDecision decision;
     std::optional<RewriteResult> rewrite;
     RFV_ASSIGN_OR_RETURN(rewrite, rewriter_.TryRewrite(*stmt.select,
@@ -514,6 +515,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
     rewrite_options.variant = options.rewrite_variant;
     rewrite_options.force_method = options.force_method;
     rewrite_options.use_cost_model = options.use_cost_model;
+    rewrite_options.vector_exec = options.exec.use_vectorized_execution;
     const SteadyClock::time_point rewrite_start = SteadyClock::now();
     RewriteDecision decision;
     std::optional<RewriteResult> rewrite;

@@ -145,13 +145,22 @@ Status HashAggregateOp::OpenImpl() {
     std::vector<Vector> key_vecs(group_by_.size());
     std::vector<Vector> arg_vecs(aggregates_.size());
     // Single-int64-key fast path: group lookup on the raw int64 lane.
-    // Migrates one-way to the generic Value-keyed map the first time a
-    // non-int64, non-NULL key appears (Value::Hash then unifies Int and
-    // Double keys exactly as the row path does).
+    // Migrates one-way to the generic hash-bucketed lookup the first
+    // time a non-int64, non-NULL key appears (the shared bulk-hash
+    // kernel then unifies Int and Double keys exactly as the row path's
+    // RowColumnsHash does).
     bool int_fast = group_by_.size() == 1;
     std::unordered_map<int64_t, size_t> int_groups;
     constexpr size_t kNoGroup = static_cast<size_t>(-1);
     size_t null_group = kNoGroup;
+    // Generic path: the key columns of each vector are bulk-hashed once
+    // by the HashVectorColumns kernel the joins use (hash-identical to
+    // RowColumnsHash), and groups are found by full-hash bucket plus a
+    // typed cell-vs-stored-key compare — the incoming key is boxed only
+    // when it starts a new group.
+    std::unordered_map<uint64_t, std::vector<size_t>> generic_buckets;
+    std::vector<uint64_t> key_hashes;
+    std::vector<const Vector*> key_ptrs(group_by_.size());
     bool input_eof = false;
     while (!input_eof) {
       VectorProjection* vp = nullptr;
@@ -161,6 +170,7 @@ Status HashAggregateOp::OpenImpl() {
       for (size_t g = 0; g < group_by_.size(); ++g) {
         RFV_RETURN_IF_ERROR(
             VectorEvaluator::Eval(*group_by_[g], *vp, sel, &key_vecs[g]));
+        key_ptrs[g] = &key_vecs[g];
       }
       for (size_t a = 0; a < aggregates_.size(); ++a) {
         if (!aggregates_[a].is_count_star) {
@@ -168,6 +178,15 @@ Status HashAggregateOp::OpenImpl() {
                                                     sel, &arg_vecs[a]));
         }
       }
+      // Bulk-hash the keys lazily: only when this vector actually needs
+      // generic lookups (the int fast path may cover the whole input).
+      bool hashes_ready = false;
+      const auto ensure_hashes = [&]() {
+        if (hashes_ready) return;
+        HashVectorColumns(key_ptrs, sel, vp->num_rows(), &key_hashes);
+        hashes_ready = true;
+      };
+      if (!group_by_.empty() && !int_fast) ensure_hashes();
       for (size_t k = 0; k < sel.size(); ++k) {
         const uint32_t i = sel[k];
         size_t gi = 0;
@@ -191,22 +210,42 @@ Status HashAggregateOp::OpenImpl() {
             } else {
               int_fast = false;
               for (size_t g2 = 0; g2 < group_keys.size(); ++g2) {
-                group_index.emplace(group_keys[g2], g2);
+                generic_buckets[RowColumnsHash{}(group_keys[g2])].push_back(
+                    g2);
               }
+              ensure_hashes();
             }
           }
           if (!int_fast) {
-            std::vector<Value> key;
-            key.reserve(group_by_.size());
-            for (size_t g = 0; g < group_by_.size(); ++g) {
-              key.push_back(key_vecs[g].GetValue(i));
+            const uint64_t h = key_hashes[i];
+            size_t found = kNoGroup;
+            const auto it = generic_buckets.find(h);
+            if (it != generic_buckets.end()) {
+              for (const size_t cand : it->second) {
+                bool eq = true;
+                for (size_t g = 0; g < group_by_.size(); ++g) {
+                  if (!VectorCellEqualsValue(key_vecs[g], i,
+                                             group_keys[cand][g])) {
+                    eq = false;
+                    break;
+                  }
+                }
+                if (eq) {
+                  found = cand;
+                  break;
+                }
+              }
             }
-            const auto it = group_index.find(key);
-            if (it != group_index.end()) {
-              gi = it->second;
+            if (found != kNoGroup) {
+              gi = found;
             } else {
+              std::vector<Value> key;
+              key.reserve(group_by_.size());
+              for (size_t g = 0; g < group_by_.size(); ++g) {
+                key.push_back(key_vecs[g].GetValue(i));
+              }
               gi = new_group(key);
-              group_index.emplace(std::move(key), gi);
+              generic_buckets[h].push_back(gi);
             }
           }
         }

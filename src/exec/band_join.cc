@@ -16,6 +16,7 @@
 
 #include "common/metrics_registry.h"
 #include "exec/operators.h"
+#include "exec/vector_eval.h"
 #include "expr/builder.h"
 #include "expr/eval.h"
 #include "plan/planner.h"
@@ -380,6 +381,9 @@ Status MergeBandJoinOp::OpenImpl() {
   keys_.clear();
   dense_.clear();
   dense_valid_ = false;
+  left_vp_ = nullptr;
+  left_lane_pos_ = 0;
+  left_input_eof_ = false;
 
   RFV_RETURN_IF_ERROR(left_->Open());
   RFV_RETURN_IF_ERROR(right_->Open());
@@ -396,6 +400,10 @@ Status MergeBandJoinOp::OpenImpl() {
   }
   // Base tables in sequence order (the common case for the paper's pos
   // column) arrive already sorted — detect in O(m) and skip the sort.
+  // The check runs on right_rows_, which DrainChild filled from the
+  // right scan's PINNED snapshot, so the ordered-skip decision and the
+  // rows it indexes are the same frozen version even when live storage
+  // mutates (or compacts out of order) mid-query.
   if (!std::is_sorted(keys_.begin(), keys_.end())) {
     std::sort(keys_.begin(), keys_.end());
   }
@@ -417,6 +425,19 @@ Status MergeBandJoinOp::OpenImpl() {
   }
   cursors_.assign(spec_.bands.size(), 0);
   prev_lo_.assign(spec_.bands.size(), std::numeric_limits<int64_t>::min());
+
+  // Vector-native output: transpose the (snapshot-stable) right side
+  // once into columnar gather-source lanes. The row array stays alive
+  // for the row/batch pull styles.
+  if (vectorized()) {
+    right_vp_.Reset(right_width_, right_rows_.size());
+    for (size_t id = 0; id < right_rows_.size(); ++id) {
+      const Row& row = right_rows_[id];
+      for (size_t c = 0; c < right_width_; ++c) {
+        right_vp_.column(c).SetValue(id, row[c]);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -564,14 +585,9 @@ void MergeBandJoinOp::CollectBand(const ResolvedBand& band,
   }
 }
 
-Status MergeBandJoinOp::AdvanceLeft(bool* eof) {
-  RFV_RETURN_IF_ERROR(left_->Next(&current_left_, eof));
-  left_valid_ = !*eof;
-  left_matched_ = false;
+Status MergeBandJoinOp::ResolveCandidates() {
   candidates_.clear();
   candidate_pos_ = 0;
-  if (*eof) return Status::OK();
-
   for (size_t i = 0; i < spec_.bands.size(); ++i) {
     ResolvedBand resolved;
     RFV_RETURN_IF_ERROR(ResolveBand(spec_.bands[i], current_left_, &resolved));
@@ -584,6 +600,16 @@ Status MergeBandJoinOp::AdvanceLeft(bool* eof) {
                       candidates_.end());
   }
   return Status::OK();
+}
+
+Status MergeBandJoinOp::AdvanceLeft(bool* eof) {
+  RFV_RETURN_IF_ERROR(left_->Next(&current_left_, eof));
+  left_valid_ = !*eof;
+  left_matched_ = false;
+  candidates_.clear();
+  candidate_pos_ = 0;
+  if (*eof) return Status::OK();
+  return ResolveCandidates();
 }
 
 Status MergeBandJoinOp::NextImpl(Row* row, bool* eof) {
@@ -622,6 +648,83 @@ Status MergeBandJoinOp::NextImpl(Row* row, bool* eof) {
     }
     left_valid_ = false;
   }
+}
+
+Status MergeBandJoinOp::NextVectorImpl(VectorProjection** out, bool* eof) {
+  // The native path is only wired up when the planner stamped this
+  // operator vectorized (right_vp_ exists then); a direct NextVector on
+  // an unstamped instance keeps the transpose-fallback behavior.
+  if (!vectorized()) return PhysicalOperator::NextVectorImpl(out, eof);
+
+  const size_t left_width = left_->schema().NumColumns();
+  out_vp_.Reset(left_width + right_width_, vector_capacity_);
+  size_t filled = 0;
+  int64_t matched = 0;
+
+  while (filled < vector_capacity_) {
+    if (!left_valid_) {
+      // Advance to the next left lane, pulling fresh left input as
+      // needed. Drain-first: the final child vector may be non-empty
+      // with eof already set.
+      while (left_vp_ == nullptr ||
+             left_lane_pos_ >= left_vp_->NumSelected()) {
+        if (left_input_eof_) goto drained;
+        bool child_eof = false;
+        if (left_->vectorized()) {
+          RFV_RETURN_IF_ERROR(left_->NextVector(&left_vp_, &child_eof));
+        } else {
+          RFV_RETURN_IF_ERROR(left_->NextBatch(&left_batch_, &child_eof));
+          left_src_vp_.FromBatch(left_width, left_batch_);
+          left_vp_ = &left_src_vp_;
+        }
+        left_input_eof_ = child_eof;
+        left_lane_pos_ = 0;
+        if (left_vp_ != nullptr && left_vp_->NumSelected() == 0) {
+          left_vp_ = nullptr;
+        }
+      }
+      current_lane_ = left_vp_->sel()[left_lane_pos_++];
+      // The band bounds are per-left-row scalars: resolve them on the
+      // materialized row (O(left rows), not O(matches) — the match
+      // emission below never boxes).
+      left_vp_->MaterializeRow(current_lane_, &current_left_);
+      left_valid_ = true;
+      left_matched_ = false;
+      RFV_RETURN_IF_ERROR(ResolveCandidates());
+      if (spec_.residual != nullptr && !candidates_.empty()) {
+        RFV_RETURN_IF_ERROR(FilterJoinCandidates(*spec_.residual, *left_vp_,
+                                                 current_lane_, right_vp_,
+                                                 &residual_scratch_,
+                                                 &candidates_));
+      }
+      left_matched_ = !candidates_.empty();
+    }
+    if (candidate_pos_ < candidates_.size()) {
+      const size_t run = std::min(vector_capacity_ - filled,
+                                  candidates_.size() - candidate_pos_);
+      GatherJoinRun(*left_vp_, current_lane_, right_vp_, candidates_,
+                    candidate_pos_, run, filled, &out_vp_);
+      candidate_pos_ += run;
+      filled += run;
+      matched += static_cast<int64_t>(run);
+      if (candidate_pos_ >= candidates_.size()) left_valid_ = false;
+      continue;
+    }
+    if (join_type_ == JoinType::kLeftOuter && !left_matched_) {
+      GatherNullPaddedRow(*left_vp_, current_lane_, right_width_, filled,
+                          &out_vp_);
+      ++filled;
+    }
+    left_valid_ = false;
+  }
+
+drained:
+  out_vp_.sel().Truncate(filled);
+  if (matched > 0) BandJoinRowsCounter()->Increment(matched);
+  *out = &out_vp_;
+  *eof = left_input_eof_ && !left_valid_ &&
+         (left_vp_ == nullptr || left_lane_pos_ >= left_vp_->NumSelected());
+  return Status::OK();
 }
 
 }  // namespace rfv

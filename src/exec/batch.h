@@ -57,6 +57,21 @@ class RowBatch {
     ++size_;
   }
 
+  /// Slot-reuse producer protocol — the allocation-light alternative to
+  /// Push for row-at-a-time fill loops (the default NextBatchImpl):
+  /// NextSlot() exposes the next row slot (retained storage from earlier
+  /// fills) for in-place production; CommitSlot() makes it logically
+  /// present. An obtained-but-uncommitted slot is simply not part of the
+  /// batch — producers that hit EOF or an error after NextSlot() just
+  /// skip the commit. Same hard capacity bound as Push.
+  Row* NextSlot() {
+    RFV_CHECK_MSG(size_ < capacity_,
+                  "RowBatch::NextSlot past capacity " << capacity_);
+    if (size_ >= rows_.size()) rows_.emplace_back();
+    return &rows_[size_];
+  }
+  void CommitSlot() { ++size_; }
+
  private:
   size_t capacity_;
   size_t size_ = 0;

@@ -319,15 +319,17 @@ std::string FormatMetricsLine(const std::string& label,
   } else {
     std::snprintf(est, sizeof(est), "-");
   }
-  char line[320];
+  char line[384];
   std::snprintf(
       line, sizeof(line),
       "%-24s rows_in=%-9lld rows_out=%-9lld est=%-9s next_calls=%-9lld "
-      "batches=%-6lld open_ms=%-8.3f next_ms=%-8.3f peak_buffered=%lld\n",
+      "batches=%-6lld vectors=%-6lld open_ms=%-8.3f next_ms=%-8.3f "
+      "peak_buffered=%lld\n",
       label.c_str(), static_cast<long long>(e.rows_in),
       static_cast<long long>(e.metrics.rows_out), est,
       static_cast<long long>(e.metrics.next_calls),
       static_cast<long long>(e.metrics.batches_out),
+      static_cast<long long>(e.metrics.vectors_out),
       static_cast<double>(e.metrics.open_ns) / 1e6,
       static_cast<double>(e.metrics.next_ns) / 1e6,
       static_cast<long long>(e.metrics.peak_buffered_rows));
@@ -372,6 +374,7 @@ std::string FormatMetricsRollup(
     total.metrics.rows_out += e.metrics.rows_out;
     total.metrics.next_calls += e.metrics.next_calls;
     total.metrics.batches_out += e.metrics.batches_out;
+    total.metrics.vectors_out += e.metrics.vectors_out;
     total.metrics.open_ns += e.metrics.open_ns;
     total.metrics.next_ns += e.metrics.next_ns;
     total.metrics.peak_buffered_rows =

@@ -26,6 +26,13 @@ struct OperatorMetrics {
   /// NextBatch calls that produced rows; NextVector calls that produced a
   /// projection with a non-empty selection count here too.
   int64_t batches_out = 0;
+  /// NextVector calls that produced a non-empty projection — the
+  /// vector-only slice of batches_out, so EXPLAIN ANALYZE shows which
+  /// operators actually ran columnar (a vectorized join emitting
+  /// vectors=N, batches=N; a transpose-fallback operator still counts
+  /// here because it *answers* NextVector, but its children's zero stays
+  /// zero under a batch drain).
+  int64_t vectors_out = 0;
   int64_t open_ns = 0;     ///< wall time inside Open (incl. children)
   int64_t next_ns = 0;     ///< cumulative wall time inside Next (ditto)
   /// High-water mark of rows materialized by this operator (sort
@@ -146,7 +153,10 @@ class PhysicalOperator {
     if (status.ok()) {
       const size_t produced = (*out != nullptr) ? (*out)->NumSelected() : 0;
       metrics_.rows_out += static_cast<int64_t>(produced);
-      if (produced > 0) ++metrics_.batches_out;
+      if (produced > 0) {
+        ++metrics_.batches_out;
+        ++metrics_.vectors_out;
+      }
       if (*eof) exhausted_ = true;
     }
     return status;
@@ -201,18 +211,21 @@ class PhysicalOperator {
 
   /// Default batch production: a tight row loop over NextImpl (NOT the
   /// Next shell — the shell's clock reads and counters must not be paid
-  /// twice). Batch-native operators override this and typically pull
-  /// their child through NextBatch.
+  /// twice). Rows are produced directly into the batch's retained slots
+  /// (NextSlot/CommitSlot) instead of through a fresh stack Row per
+  /// iteration, so the transpose-fallback pipeline reuses its row
+  /// storage across NextBatch/NextVector calls. Batch-native operators
+  /// override this and typically pull their child through NextBatch.
   virtual Status NextBatchImpl(RowBatch* batch, bool* eof) {
     while (!batch->full()) {
-      Row row;
+      Row* slot = batch->NextSlot();
       bool row_eof = false;
-      RFV_RETURN_IF_ERROR(NextImpl(&row, &row_eof));
+      RFV_RETURN_IF_ERROR(NextImpl(slot, &row_eof));
       if (row_eof) {
         *eof = true;
         return Status::OK();
       }
-      batch->Push(std::move(row));
+      batch->CommitSlot();
     }
     return Status::OK();
   }

@@ -2,7 +2,9 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "exec/operators.h"
+#include "exec/vector_eval.h"
 #include "expr/builder.h"
 #include "expr/eval.h"
 #include "plan/planner.h"
@@ -530,13 +532,37 @@ Status IndexNestedLoopJoinOp::NextImpl(Row* row, bool* eof) {
 // Hash join
 // ---------------------------------------------------------------------------
 
+namespace {
+
+Counter* HashBuildRowsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_exec_hash_build_rows_total", {},
+      "Rows inserted into hash join build tables");
+  return c;
+}
+
+Counter* HashProbeVectorsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "rfv_exec_hash_probe_vectors_total", {},
+      "Probe-side vectors bulk-hashed by vectorized hash joins");
+  return c;
+}
+
+}  // namespace
+
 Status HashJoinOp::OpenImpl() {
   hash_table_.clear();
   left_valid_ = false;
   bucket_ = nullptr;
+  probe_vp_ = nullptr;
+  probe_lane_pos_ = 0;
+  probe_input_eof_ = false;
+  vec_candidates_.clear();
+  vec_candidate_pos_ = 0;
   RFV_RETURN_IF_ERROR(left_->Open());
   RFV_RETURN_IF_ERROR(right_->Open());
   right_width_ = right_->schema().NumColumns();
+  if (vectorized()) return OpenVectorized();
   std::vector<Row> build_rows;
   RFV_RETURN_IF_ERROR(DrainChild(right_.get(), &build_rows));
   size_t buffered = 0;
@@ -554,7 +580,66 @@ Status HashJoinOp::OpenImpl() {
     hash_table_[std::move(key)].push_back(std::move(row));
     ++buffered;
   }
+  HashBuildRowsCounter()->Increment(static_cast<int64_t>(buffered));
   NoteBufferedRows(buffered);
+  return Status::OK();
+}
+
+Status HashJoinOp::OpenVectorized() {
+  std::vector<Row> build_rows;
+  RFV_RETURN_IF_ERROR(DrainChild(right_.get(), &build_rows));
+  const size_t n = build_rows.size();
+
+  // Transpose the build side once into columnar lanes: the gather
+  // source for output emission and the input of the key evaluation.
+  build_vp_.Reset(right_width_, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = build_rows[i];
+    for (size_t c = 0; c < right_width_; ++c) {
+      build_vp_.column(c).SetValue(i, row[c]);
+    }
+  }
+
+  // Evaluate all key expressions column-at-a-time, then bulk-hash the
+  // whole key vector set in one kernel pass (hash-identical to the row
+  // path's RowColumnsHash).
+  build_key_vecs_.resize(right_keys_.size());
+  std::vector<const Vector*> key_ptrs(right_keys_.size());
+  for (size_t j = 0; j < right_keys_.size(); ++j) {
+    RFV_RETURN_IF_ERROR(VectorEvaluator::Eval(
+        *right_keys_[j], build_vp_, build_vp_.sel(), &build_key_vecs_[j]));
+    key_ptrs[j] = &build_key_vecs_[j];
+  }
+  HashVectorColumns(key_ptrs, build_vp_.sel(), n, &build_hashes_);
+
+  // Single allocation pass for the bucket-chain table: heads_ sized to
+  // the next power of two ≥ 2n (load factor ≤ 0.5), chain_next_ one
+  // slot per build row. Inserting in REVERSE row order with head
+  // insertion makes every chain walk in ascending build-row order —
+  // exactly the bucket arrival order the row path's map produces, so
+  // output order is identical across paths.
+  size_t cap = 16;
+  while (cap < n * 2) cap <<= 1;
+  bucket_mask_ = cap - 1;
+  heads_.assign(cap, kChainEnd);
+  chain_next_.assign(n, kChainEnd);
+  size_t inserted = 0;
+  for (size_t i = n; i-- > 0;) {
+    bool has_null = false;
+    for (const Vector& kv : build_key_vecs_) {
+      if (kv.is_null(i)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;  // NULL keys never equi-match
+    const size_t b = static_cast<size_t>(build_hashes_[i] & bucket_mask_);
+    chain_next_[i] = heads_[b];
+    heads_[b] = static_cast<uint32_t>(i);
+    ++inserted;
+  }
+  HashBuildRowsCounter()->Increment(static_cast<int64_t>(inserted));
+  NoteBufferedRows(inserted);
   return Status::OK();
 }
 
@@ -615,6 +700,113 @@ Status HashJoinOp::NextImpl(Row* row, bool* eof) {
     }
     left_valid_ = false;
   }
+}
+
+Status HashJoinOp::NextVectorImpl(VectorProjection** out, bool* eof) {
+  // Native only when the planner stamped this operator vectorized (the
+  // chain table exists then); otherwise keep the transpose fallback.
+  if (!vectorized()) return PhysicalOperator::NextVectorImpl(out, eof);
+
+  const size_t left_width = left_->schema().NumColumns();
+  out_vp_.Reset(left_width + right_width_, vector_capacity_);
+  size_t filled = 0;
+
+  while (filled < vector_capacity_) {
+    if (!left_valid_) {
+      // Advance to the next probe lane, pulling and bulk-hashing fresh
+      // probe vectors as needed (drain-first EOF contract).
+      while (probe_vp_ == nullptr ||
+             probe_lane_pos_ >= probe_vp_->NumSelected()) {
+        if (probe_input_eof_) goto drained;
+        bool child_eof = false;
+        if (left_->vectorized()) {
+          RFV_RETURN_IF_ERROR(left_->NextVector(&probe_vp_, &child_eof));
+        } else {
+          RFV_RETURN_IF_ERROR(left_->NextBatch(&probe_batch_, &child_eof));
+          probe_src_vp_.FromBatch(left_width, probe_batch_);
+          probe_vp_ = &probe_src_vp_;
+        }
+        probe_input_eof_ = child_eof;
+        probe_lane_pos_ = 0;
+        if (probe_vp_ != nullptr && probe_vp_->NumSelected() == 0) {
+          probe_vp_ = nullptr;
+        }
+        if (probe_vp_ != nullptr) {
+          probe_key_vecs_.resize(left_keys_.size());
+          std::vector<const Vector*> key_ptrs(left_keys_.size());
+          for (size_t j = 0; j < left_keys_.size(); ++j) {
+            RFV_RETURN_IF_ERROR(
+                VectorEvaluator::Eval(*left_keys_[j], *probe_vp_,
+                                      probe_vp_->sel(), &probe_key_vecs_[j]));
+            key_ptrs[j] = &probe_key_vecs_[j];
+          }
+          HashVectorColumns(key_ptrs, probe_vp_->sel(),
+                            probe_vp_->num_rows(), &probe_hashes_);
+          HashProbeVectorsCounter()->Increment();
+        }
+      }
+      current_lane_ = probe_vp_->sel()[probe_lane_pos_++];
+      // Chase this lane's bucket chain: full-hash pre-check, then the
+      // typed cell comparison (Value::Compare semantics). The chain is
+      // in ascending build-row order by construction.
+      vec_candidates_.clear();
+      vec_candidate_pos_ = 0;
+      bool has_null = false;
+      for (const Vector& kv : probe_key_vecs_) {
+        if (kv.is_null(current_lane_)) {
+          has_null = true;
+          break;
+        }
+      }
+      if (!has_null) {
+        const uint64_t h = probe_hashes_[current_lane_];
+        for (uint32_t e = heads_[static_cast<size_t>(h & bucket_mask_)];
+             e != kChainEnd; e = chain_next_[e]) {
+          if (build_hashes_[e] != h) continue;
+          bool eq = true;
+          for (size_t j = 0; j < probe_key_vecs_.size(); ++j) {
+            if (!VectorCellsEqual(probe_key_vecs_[j], current_lane_,
+                                  build_key_vecs_[j], e)) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) vec_candidates_.push_back(e);
+        }
+      }
+      if (residual_ != nullptr && !vec_candidates_.empty()) {
+        RFV_RETURN_IF_ERROR(FilterJoinCandidates(*residual_, *probe_vp_,
+                                                 current_lane_, build_vp_,
+                                                 &residual_scratch_,
+                                                 &vec_candidates_));
+      }
+      left_matched_ = !vec_candidates_.empty();
+      left_valid_ = true;
+    }
+    if (vec_candidate_pos_ < vec_candidates_.size()) {
+      const size_t run = std::min(vector_capacity_ - filled,
+                                  vec_candidates_.size() - vec_candidate_pos_);
+      GatherJoinRun(*probe_vp_, current_lane_, build_vp_, vec_candidates_,
+                    vec_candidate_pos_, run, filled, &out_vp_);
+      vec_candidate_pos_ += run;
+      filled += run;
+      if (vec_candidate_pos_ >= vec_candidates_.size()) left_valid_ = false;
+      continue;
+    }
+    if (join_type_ == JoinType::kLeftOuter && !left_matched_) {
+      GatherNullPaddedRow(*probe_vp_, current_lane_, right_width_, filled,
+                          &out_vp_);
+      ++filled;
+    }
+    left_valid_ = false;
+  }
+
+drained:
+  out_vp_.sel().Truncate(filled);
+  *out = &out_vp_;
+  *eof = probe_input_eof_ && !left_valid_ &&
+         (probe_vp_ == nullptr || probe_lane_pos_ >= probe_vp_->NumSelected());
+  return Status::OK();
 }
 
 }  // namespace rfv

@@ -320,10 +320,21 @@ class MergeBandJoinOp : public PhysicalOperator {
     out->push_back(left_.get());
     out->push_back(right_.get());
   }
+  /// Native columnar output: candidate runs from the monotone band
+  /// cursors are gathered column-wise into pooled output lanes
+  /// (band_join.cc NextVectorImpl) instead of transposing per-row
+  /// concatenations.
+  bool VectorNative() const override { return true; }
+  /// Test hook: shrinks the native vector path's output capacity so
+  /// tests can force candidate runs to split across output vectors.
+  void SetVectorOutputCapacityForTest(size_t cap) {
+    vector_capacity_ = cap == 0 ? 1 : cap;
+  }
 
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   /// Evaluated, integer-resolved bounds of one band for one left row.
@@ -336,6 +347,9 @@ class MergeBandJoinOp : public PhysicalOperator {
   };
 
   Status AdvanceLeft(bool* eof);
+  /// Resolves all bands for current_left_ into candidates_ (cross-band
+  /// deduplicated); shared by the row and vector paths.
+  Status ResolveCandidates();
   Status ResolveBand(const BandSpec& band, const Row& left_row,
                      ResolvedBand* out) const;
   /// Appends row ids of keys_ positions matching `band` to candidates_,
@@ -367,6 +381,24 @@ class MergeBandJoinOp : public PhysicalOperator {
   std::vector<size_t> candidates_;
   size_t candidate_pos_ = 0;
   size_t right_width_ = 0;
+
+  // --- Vector-native path (NextVectorImpl, used when vectorized()) ---
+  /// Columnar copy of right_rows_ — the gather source for output runs.
+  VectorProjection right_vp_;
+  /// Pooled output lanes and residual-filter scratch, reused across
+  /// NextVector calls.
+  VectorProjection out_vp_;
+  VectorProjection residual_scratch_;
+  /// Left-input staging: the current left projection is child-owned
+  /// when the left child is vectorized, else the transpose of
+  /// left_batch_ into left_src_vp_.
+  RowBatch left_batch_;
+  VectorProjection left_src_vp_;
+  VectorProjection* left_vp_ = nullptr;
+  size_t left_lane_pos_ = 0;    ///< next selection slot in left_vp_
+  uint32_t current_lane_ = 0;   ///< current left row position in left_vp_
+  bool left_input_eof_ = false;
+  size_t vector_capacity_ = RowBatch::kDefaultCapacity;
 };
 
 /// Hash join on equi-key conjuncts (inner / left outer) with optional
@@ -390,13 +422,28 @@ class HashJoinOp : public PhysicalOperator {
     out->push_back(left_.get());
     out->push_back(right_.get());
   }
+  /// Native columnar execution: vectorized build (bulk-hash whole key
+  /// vectors into a contiguous bucket-chain table, one allocation pass)
+  /// and vectorized probe (bulk-hash the probe vector, chase chains
+  /// per-lane, gather matches column-wise). See join.cc.
+  bool VectorNative() const override { return true; }
+  /// Test hook: shrinks the native vector path's output capacity so
+  /// tests can force match runs to split across output vectors.
+  void SetVectorOutputCapacityForTest(size_t cap) {
+    vector_capacity_ = cap == 0 ? 1 : cap;
+  }
 
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* row, bool* eof) override;
+  Status NextVectorImpl(VectorProjection** out, bool* eof) override;
 
  private:
   Status AdvanceLeft(bool* eof);
+  /// Vectorized build: drains the build side, transposes it once into
+  /// build_vp_, bulk-hashes the key vectors, and links the bucket-chain
+  /// table (heads_/chain_next_) in one pass.
+  Status OpenVectorized();
 
   PhysicalOperatorPtr left_;
   PhysicalOperatorPtr right_;
@@ -413,6 +460,34 @@ class HashJoinOp : public PhysicalOperator {
   bool left_matched_ = false;
   const std::vector<Row>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
+
+  // --- Vector-native path (OpenVectorized + NextVectorImpl) ---
+  /// Chain terminator / empty bucket sentinel.
+  static constexpr uint32_t kChainEnd = 0xffffffffu;
+  /// Columnar build side: all build rows (gather source), their
+  /// evaluated key vectors, and per-row full hashes. Entries are linked
+  /// head-first in REVERSE row order so every chain walks in ascending
+  /// build-row order — exactly the row path's bucket arrival order.
+  VectorProjection build_vp_;
+  std::vector<Vector> build_key_vecs_;
+  std::vector<uint64_t> build_hashes_;
+  std::vector<uint32_t> heads_;       ///< bucket -> first entry (row id)
+  std::vector<uint32_t> chain_next_;  ///< entry -> next entry in chain
+  uint64_t bucket_mask_ = 0;          ///< heads_.size() - 1 (power of two)
+  /// Probe-side staging, pooled output lanes, and per-lane match state.
+  VectorProjection out_vp_;
+  VectorProjection residual_scratch_;
+  RowBatch probe_batch_;
+  VectorProjection probe_src_vp_;
+  VectorProjection* probe_vp_ = nullptr;
+  std::vector<Vector> probe_key_vecs_;
+  std::vector<uint64_t> probe_hashes_;
+  size_t probe_lane_pos_ = 0;   ///< next selection slot in probe_vp_
+  uint32_t current_lane_ = 0;   ///< current probe row position
+  bool probe_input_eof_ = false;
+  std::vector<size_t> vec_candidates_;
+  size_t vec_candidate_pos_ = 0;
+  size_t vector_capacity_ = RowBatch::kDefaultCapacity;
 };
 
 /// Sort-merge join on equi-key conjuncts (inner / left outer) with an

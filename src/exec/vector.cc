@@ -69,4 +69,22 @@ void VectorProjection::AppendSelectedTo(std::vector<Row>* out) const {
   }
 }
 
+void HashVectorColumns(const std::vector<const Vector*>& keys,
+                       const SelectionVector& sel, size_t num_rows,
+                       std::vector<uint64_t>* out) {
+  if (out->size() < num_rows) out->resize(num_rows);
+  constexpr uint64_t kSeed = 0xcbf29ce484222325ull;  // RowColumnsHash seed
+  for (size_t k = 0; k < sel.size(); ++k) (*out)[sel[k]] = kSeed;
+  // Column-at-a-time: the tag branch inside VectorCellHash predicts
+  // perfectly on homogeneous columns, and each pass streams one lane.
+  for (const Vector* col : keys) {
+    for (size_t k = 0; k < sel.size(); ++k) {
+      const uint32_t p = sel[k];
+      uint64_t& h = (*out)[p];
+      h ^= VectorCellHash(*col, p) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+  }
+}
+
 }  // namespace rfv

@@ -183,6 +183,90 @@ class VectorProjection {
   size_t num_rows_ = 0;
 };
 
+/// Hash of one vector cell, identical to Value::Hash() of the boxed
+/// cell: NULL hashes to the golden-ratio constant, numerics hash by
+/// their double representation (Int(2) and Double(2.0) collide, matching
+/// Value::Compare), -0.0 normalizes to 0. Keeping this bit-exact with
+/// Value::Hash is what lets the vectorized hash join and aggregate share
+/// bucketization with the row path's RowColumnsHash tables.
+inline uint64_t VectorCellHash(const Vector& v, size_t i) {
+  switch (v.tag(i)) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case DataType::kBool:
+      return std::hash<bool>{}(v.b(i));
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      const double d = v.ToDouble(i);
+      if (d == 0.0) return 0;  // normalize -0.0
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(v.str(i));
+  }
+  return 0;
+}
+
+/// Cell-to-cell equality mirroring Value::Compare(...) == 0: NULLs
+/// compare equal to each other only, int64/int64 compares exactly, mixed
+/// numerics compare as double. Used by the vectorized hash join's chain
+/// chase so probe/build matching is identical to the row path's
+/// Value-keyed map lookups.
+inline bool VectorCellsEqual(const Vector& a, size_t i, const Vector& b,
+                             size_t j) {
+  const DataType ta = a.tag(i);
+  const DataType tb = b.tag(j);
+  const bool na = ta == DataType::kInt64 || ta == DataType::kDouble;
+  const bool nb = tb == DataType::kInt64 || tb == DataType::kDouble;
+  if (na && nb) {
+    if (ta == DataType::kInt64 && tb == DataType::kInt64) {
+      return a.i64(i) == b.i64(j);
+    }
+    return a.ToDouble(i) == b.ToDouble(j);
+  }
+  if (ta != tb) return false;
+  switch (ta) {
+    case DataType::kNull: return true;
+    case DataType::kBool: return a.b(i) == b.b(j);
+    case DataType::kString: return a.str(i) == b.str(j);
+    default: return false;  // unreachable: numerics handled above
+  }
+}
+
+/// Cell-to-Value equality with the same semantics as VectorCellsEqual —
+/// the vectorized aggregate's group-key compare against its stored boxed
+/// keys, without boxing the incoming cell.
+inline bool VectorCellEqualsValue(const Vector& v, size_t i,
+                                  const Value& val) {
+  const DataType tv = v.tag(i);
+  const DataType tw = val.type();
+  const bool nv = tv == DataType::kInt64 || tv == DataType::kDouble;
+  const bool nw = tw == DataType::kInt64 || tw == DataType::kDouble;
+  if (nv && nw) {
+    if (tv == DataType::kInt64 && tw == DataType::kInt64) {
+      return v.i64(i) == val.AsInt();
+    }
+    return v.ToDouble(i) == val.ToDouble();
+  }
+  if (tv != tw) return false;
+  switch (tv) {
+    case DataType::kNull: return true;
+    case DataType::kBool: return v.b(i) == val.AsBool();
+    case DataType::kString: return v.str(i) == val.AsString();
+    default: return false;
+  }
+}
+
+/// Bulk hash kernel, shared by the vectorized hash join (build and
+/// probe) and the vectorized aggregate ingest: for every selected
+/// position p, combines the cells of `keys` into (*out)[p] with exactly
+/// the RowColumnsHash mixing over Value-consistent cell hashes, one
+/// column at a time. *out is indexed by row position (resized to
+/// `num_rows`); unselected slots are left unspecified.
+void HashVectorColumns(const std::vector<const Vector*>& keys,
+                       const SelectionVector& sel, size_t num_rows,
+                       std::vector<uint64_t>* out);
+
 }  // namespace rfv
 
 #endif  // RFVIEW_EXEC_VECTOR_H_

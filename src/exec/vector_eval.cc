@@ -504,4 +504,64 @@ Status VectorEvaluator::EvalPredicate(const Expr& expr,
   return Status::OK();
 }
 
+void GatherJoinRun(const VectorProjection& left, uint32_t left_pos,
+                   const VectorProjection& right,
+                   const std::vector<size_t>& cand, size_t cand_offset,
+                   size_t k, size_t at, VectorProjection* out) {
+  const size_t left_width = left.num_columns();
+  for (size_t c = 0; c < left_width; ++c) {
+    Vector& dst = out->column(c);
+    const Vector& src = left.column(c);
+    for (size_t t = 0; t < k; ++t) dst.CopyFrom(at + t, src, left_pos);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    Vector& dst = out->column(left_width + c);
+    const Vector& src = right.column(c);
+    for (size_t t = 0; t < k; ++t) {
+      dst.CopyFrom(at + t, src, cand[cand_offset + t]);
+    }
+  }
+}
+
+void GatherNullPaddedRow(const VectorProjection& left, uint32_t left_pos,
+                         size_t right_width, size_t at,
+                         VectorProjection* out) {
+  const size_t left_width = left.num_columns();
+  for (size_t c = 0; c < left_width; ++c) {
+    out->column(c).CopyFrom(at, left.column(c), left_pos);
+  }
+  for (size_t c = 0; c < right_width; ++c) {
+    out->column(left_width + c).SetNull(at);
+  }
+}
+
+Status FilterJoinCandidates(const Expr& residual,
+                            const VectorProjection& left, uint32_t left_pos,
+                            const VectorProjection& right,
+                            VectorProjection* scratch,
+                            std::vector<size_t>* candidates) {
+  const size_t n = candidates->size();
+  if (n == 0) return Status::OK();
+  const size_t left_width = left.num_columns();
+  scratch->Reset(left_width + right.num_columns(), n);
+  for (size_t c = 0; c < left_width; ++c) {
+    Vector& dst = scratch->column(c);
+    const Vector& src = left.column(c);
+    for (size_t t = 0; t < n; ++t) dst.CopyFrom(t, src, left_pos);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    Vector& dst = scratch->column(left_width + c);
+    const Vector& src = right.column(c);
+    for (size_t t = 0; t < n; ++t) dst.CopyFrom(t, src, (*candidates)[t]);
+  }
+  RFV_RETURN_IF_ERROR(
+      VectorEvaluator::EvalPredicate(residual, *scratch, &scratch->sel()));
+  const SelectionVector& surviving = scratch->sel();
+  for (size_t k = 0; k < surviving.size(); ++k) {
+    (*candidates)[k] = (*candidates)[surviving[k]];
+  }
+  candidates->resize(surviving.size());
+  return Status::OK();
+}
+
 }  // namespace rfv

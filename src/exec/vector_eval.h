@@ -36,6 +36,41 @@ class VectorEvaluator {
                               SelectionVector* sel);
 };
 
+/// Shared emission/filtering machinery of the vector-native join paths
+/// (MergeBandJoinOp, HashJoinOp). Joined output rows are (left row ⊕
+/// right row) with the left row broadcast across a run of right-side
+/// candidates — these helpers gather such runs column-at-a-time into
+/// pooled output lanes instead of materializing per-row copies.
+
+/// Writes k joined rows into *out at positions [at, at+k): the left
+/// row `left_pos` of `left` broadcast into columns [0, left.columns)
+/// and right rows cand[cand_offset .. cand_offset+k) of `right`
+/// gathered into the remaining columns.
+void GatherJoinRun(const VectorProjection& left, uint32_t left_pos,
+                   const VectorProjection& right,
+                   const std::vector<size_t>& cand, size_t cand_offset,
+                   size_t k, size_t at, VectorProjection* out);
+
+/// Left-outer NULL padding: writes one row at position `at` with the
+/// left row broadcast and `right_width` NULL right columns.
+void GatherNullPaddedRow(const VectorProjection& left, uint32_t left_pos,
+                         size_t right_width, size_t at,
+                         VectorProjection* out);
+
+/// Filters right-side join candidates through a residual predicate,
+/// columnar-ly: builds a combined (left ⊕ right) projection of the
+/// candidate rows in *scratch, narrows it with EvalPredicate, and
+/// compacts the surviving entries of *candidates in place. Like the
+/// vectorized FilterOp, the residual is evaluated eagerly over the
+/// whole candidate set of one left row (the row path stops at the
+/// first downstream-satisfying match) — the permitted which-row-
+/// surfaces divergence for runtime errors.
+Status FilterJoinCandidates(const Expr& residual,
+                            const VectorProjection& left, uint32_t left_pos,
+                            const VectorProjection& right,
+                            VectorProjection* scratch,
+                            std::vector<size_t>* candidates);
+
 }  // namespace rfv
 
 #endif  // RFVIEW_EXEC_VECTOR_EVAL_H_

@@ -300,6 +300,7 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
     result.choice.method = DerivationMethod::kCountTrivial;
     if (options.use_cost_model) {
       PatternStats stats = StatsForView(*witness);
+      stats.vector_exec = options.vector_exec;
       result.cost = EstimateCountTrivialCost(stats);
     }
     if (decision != nullptr) {
@@ -394,8 +395,10 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
     // Tentpole path: price every (view, method) alternative against the
     // live statistics and against recomputing from the base table
     // (paper §7: neither MaxOA nor MinOA dominates).
-    const ViewStatsFn stats_fn = [this](const SequenceViewDef& v) {
-      return StatsForView(v);
+    const ViewStatsFn stats_fn = [this, &options](const SequenceViewDef& v) {
+      PatternStats stats = StatsForView(v);
+      stats.vector_exec = options.vector_exec;
+      return stats;
     };
     CostEstimate chosen_cost;
     std::vector<CandidateVerdict> verdicts;
@@ -407,7 +410,8 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
       any_stale |= StatsForView(*v).stale;
     }
     if (any_stale) CountStaleStats();
-    const PatternStats base_stats = StatsForView(*candidates.front());
+    PatternStats base_stats = StatsForView(*candidates.front());
+    base_stats.vector_exec = options.vector_exec;
     const CostEstimate baseline =
         EstimateSelfJoinRecomputeCost(query->window, base_stats);
     if (decision != nullptr) {
@@ -497,8 +501,9 @@ Result<std::optional<RewriteResult>> Rewriter::TryRewrite(
   if (!chosen_cost_out.has_value() && options.use_cost_model) {
     // Forced-method path: still price the pattern so EXPLAIN can show
     // the estimate next to the measured rows.
-    chosen_cost_out =
-        EstimateDerivationCost(choice, *query, StatsForView(view));
+    PatternStats forced_stats = StatsForView(view);
+    forced_stats.vector_exec = options.vector_exec;
+    chosen_cost_out = EstimateDerivationCost(choice, *query, forced_stats);
   }
   result.cost = chosen_cost_out;
   if (decision != nullptr) {

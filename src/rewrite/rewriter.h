@@ -27,6 +27,12 @@ struct RewriteOptions {
   /// statistics, including the no-rewrite comparison below; off =
   /// the paper's static preference order, always rewriting.
   bool use_cost_model = true;
+  /// Whether the session executes plans in vectorized mode
+  /// (ExecOptions::use_vectorized_execution). Stamped into
+  /// PatternStats::vector_exec so the cost model prices the band-merge
+  /// and hash-join alternatives at their vector-native paths
+  /// (`join=band+vec` / `join=hash+vec` in EXPLAIN).
+  bool vector_exec = false;
 };
 
 /// The cost model keeps the view rewrite unless recompute is estimated

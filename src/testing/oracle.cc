@@ -387,6 +387,27 @@ class OracleRunner {
             db_.options().exec.enable_merge_band_join = saved_band;
           }
 
+          // Oracle 6: forced hash join. Partitioned rewrites join the
+          // view to the base table on grp/pos equi-keys
+          // (PartitionedDirectSql), so with both the band and the index
+          // nested-loop joins disabled the planner must route the same
+          // pattern through HashJoinOp's vectorized build/probe — and
+          // produce identical rows. Not gated on the forced configs:
+          // partitioned pairs only derive under the automatic choosers.
+          std::optional<Result<ResultSet>> hash_only;
+          if (variant == RewriteVariant::kDisjunctive && s_.has_grp &&
+              query.partition_by_grp) {
+            const bool saved_band =
+                db_.options().exec.enable_merge_band_join;
+            const bool saved_inl =
+                db_.options().exec.enable_index_nested_loop_join;
+            db_.options().exec.enable_merge_band_join = false;
+            db_.options().exec.enable_index_nested_loop_join = false;
+            hash_only = db_.Execute(sql);
+            db_.options().exec.enable_merge_band_join = saved_band;
+            db_.options().exec.enable_index_nested_loop_join = saved_inl;
+          }
+
           db_.options().enable_view_rewrite = false;
           db_.options().force_method = std::nullopt;
           db_.options().use_cost_model = true;
@@ -425,6 +446,22 @@ class OracleRunner {
                               sql + "\n  rewritten: " +
                                   derived->rewritten_sql(),
                               *band_diff, round);
+              }
+            }
+          }
+          if (hash_only.has_value()) {
+            if (!hash_only->ok()) {
+              RecordFailure(&verdict_, "hashjoin", sql,
+                            hash_only->status().ToString(), round);
+            } else {
+              RecordCheck(&verdict_, "hashjoin");
+              std::optional<std::string> hash_diff =
+                  DiffRowsCanonical(*derived, **hash_only);
+              if (hash_diff.has_value()) {
+                RecordFailure(&verdict_, "hashjoin",
+                              sql + "\n  rewritten: " +
+                                  derived->rewritten_sql(),
+                              *hash_diff, round);
               }
             }
           }

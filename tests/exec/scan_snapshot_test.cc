@@ -11,6 +11,7 @@
 #include "common/epoch.h"
 #include "db/database.h"
 #include "exec/operators.h"
+#include "expr/builder.h"
 #include "storage/table_snapshot.h"
 #include "test_util.h"
 
@@ -176,6 +177,61 @@ TEST_F(ScanSnapshotMidStreamTest, ConsecutiveSnapshotsShareCleanChunks) {
   // The tail chunk (1500 rows → chunk 1 holds rows 1024..1499) was
   // copied, not shared.
   EXPECT_NE(before->chunk(1).get(), after->chunk(1).get());
+}
+
+// MergeBandJoinOp materializes its right side at Open from the right
+// scan's pinned snapshot and, when the keys arrive already ascending,
+// skips the sort entirely. That ordered-skip decision and the rows it
+// indexes must be the same frozen version: out-of-order (or deleted)
+// rows landing on the live table mid-query must not perturb the
+// already-open join's output.
+TEST_F(ScanSnapshotMidStreamTest, BandJoinOrderedSkipReadsPinnedSnapshot) {
+  // s2.pos BETWEEN s1.pos - 1 AND s1.pos + 1 over the 1500-row table,
+  // left = right = t; joined schema is (pos, val, pos, val).
+  const ExprPtr cond = eb::Between(
+      eb::Col(2, DataType::kInt64),
+      eb::Sub(eb::Col(0, DataType::kInt64), eb::Int(1)),
+      eb::Add(eb::Col(0, DataType::kInt64), eb::Int(1)));
+  std::optional<BandJoinSpec> spec =
+      TryExtractBandJoin(*cond, /*left_width=*/2, table_);
+  ASSERT_TRUE(spec.has_value());
+
+  Schema joined({ColumnDef("p1", DataType::kInt64),
+                 ColumnDef("v1", DataType::kInt64),
+                 ColumnDef("p2", DataType::kInt64),
+                 ColumnDef("v2", DataType::kInt64)});
+  auto join = std::make_unique<MergeBandJoinOp>(
+      joined, std::make_unique<TableScanOp>(table_->schema(), table_),
+      std::make_unique<TableScanOp>(table_->schema(), table_),
+      std::move(*spec), JoinType::kInner);
+  join->SetVectorized(true);
+  join->SetVectorExecEnabled(true);
+  ASSERT_TRUE(join->Open().ok());  // right side drained + ordered-skip
+
+  // Live mutations after Open: an out-of-order key (would break the
+  // ordered-skip invariant if re-read) and a deleted boundary row.
+  ASSERT_TRUE(table_->Insert(Row({Value::Int(0), Value::Int(-1)})).ok());
+  ASSERT_TRUE(table_->DeleteRow(0).ok());  // live pos=1 gone
+
+  std::vector<Row> rows;
+  bool eof = false;
+  while (!eof) {
+    VectorProjection* vp = nullptr;
+    ASSERT_TRUE(join->NextVector(&vp, &eof).ok());
+    if (vp == nullptr) continue;
+    for (size_t k = 0; k < vp->NumSelected(); ++k) {
+      Row row;
+      vp->MaterializeRow(vp->sel()[k], &row);
+      rows.push_back(std::move(row));
+    }
+  }
+  // Snapshot-consistent count: 1500 left rows × 3 band candidates,
+  // minus the two clipped edges (pos=1 lacks pos-1=0, pos=1500 lacks
+  // 1501) — neither the pos=0 insert nor the pos=1 delete shows.
+  EXPECT_EQ(rows.size(), 1500u * 3 - 2);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[0][2], Value::Int(1));  // no pos=0 candidate appeared
+  EXPECT_EQ(rows[1][2], Value::Int(2));
 }
 
 TEST_F(ScanSnapshotTest, WriteBracketCommitsAtStatementGranularity) {

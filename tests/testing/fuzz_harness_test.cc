@@ -58,6 +58,22 @@ TEST(FuzzOracleTest, SameSeedSameVerdictBytes) {
   }
 }
 
+// The forced-hash-join oracle (partitioned rewrites replayed with the
+// band and index nested-loop joins disabled) must actually fire within
+// a modest seed sweep — otherwise the vectorized hash join would go
+// fuzz-unexercised without anything failing.
+TEST(FuzzOracleTest, HashJoinOracleFires) {
+  int fired = 0;
+  for (int i = 0; i < 120 && fired == 0; ++i) {
+    const Scenario s = GenerateScenario(13, i);
+    const ScenarioVerdict v = RunScenario(s);
+    EXPECT_TRUE(v.ok()) << s.Id() << "\n" << v.Summary();
+    const auto it = v.checks.find("hashjoin");
+    if (it != v.checks.end()) fired += it->second;
+  }
+  EXPECT_GT(fired, 0);
+}
+
 TEST(FuzzOracleTest, FixedSeedsRunGreen) {
   for (int i = 0; i < 30; ++i) {
     const Scenario s = GenerateScenario(5, i);
